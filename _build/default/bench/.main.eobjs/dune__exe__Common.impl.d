@@ -1,0 +1,1 @@
+bench/common.ml: Dcs Printf Prng String

@@ -1,0 +1,1 @@
+bench/exp_beta_scaling.ml: Common Cut Dcs Digraph Directed_sparsifier Float Generators List Option Printf Table

@@ -1,0 +1,1 @@
+bench/exp_cut_counting.ml: Common Dcs Generators Karger List Printf Table

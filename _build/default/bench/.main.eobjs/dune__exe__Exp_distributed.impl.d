@@ -1,0 +1,1 @@
+bench/exp_distributed.ml: Common Coordinator Dcs Float Generators List Partition Printf Stoer_wagner Table Ugraph

@@ -1,0 +1,1 @@
+bench/exp_fig1.ml: Array Balance Common Cut Dcs Foreach_lb List Printf Table

@@ -1,0 +1,1 @@
+bench/exp_forall_lb.ml: Array Bitstring Common Dcs Exact_sketch Forall_lb Gap_hamming List Noisy_oracle Printf Table

@@ -1,0 +1,1 @@
+bench/exp_foreach_lb.ml: Common Dcs Exact_sketch Foreach_lb List Noisy_oracle Printf Prng Sketch Table

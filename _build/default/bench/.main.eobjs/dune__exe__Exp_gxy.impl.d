@@ -1,0 +1,1 @@
+bench/exp_gxy.ml: Array Bitstring Common Dcs Dinic Float Gxy List Prng Stoer_wagner Table Ugraph

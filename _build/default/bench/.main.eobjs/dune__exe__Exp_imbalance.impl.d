@@ -1,0 +1,1 @@
+bench/exp_imbalance.ml: Array Common Cut Dcs Directed_sparsifier Eulerian Exact_sketch Float Generators Imbalance_sketch List Printf Sketch Table

@@ -1,0 +1,1 @@
+bench/exp_matrix.ml: Array Common Dcs Decode_matrix Float Pm_vector Printf Prng Table

@@ -1,0 +1,1 @@
+bench/exp_naive.ml: Common Dcs Exact_sketch Foreach_lb List Naive_foreach Noisy_oracle Table

@@ -1,0 +1,1 @@
+bench/exp_query_lb.ml: Bitstring Common Dcs Estimator Float Gxy List Oracle Printf Table Two_sum Ugraph

@@ -1,0 +1,1 @@
+bench/exp_spectral.ml: Array Benczur_karger Common Cut Dcs Float Generators Laplacian List Prng Spectral_sparsifier Table Ugraph

@@ -1,0 +1,1 @@
+bench/exp_tightness.ml: Common Dcs Directed_sparsifier Exact_sketch Forall_lb Foreach_lb List Sketch Table

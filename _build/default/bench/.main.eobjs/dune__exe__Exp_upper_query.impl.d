@@ -1,0 +1,1 @@
+bench/exp_upper_query.ml: Array Common Dcs Estimator Generators List Oracle Printf Stats Stoer_wagner Table Ugraph

@@ -1,0 +1,21 @@
+(* Shared helpers for the experiment harness. *)
+
+open Dcs
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '#')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  note: %s\n" s) fmt
+
+(* Success-rate cell with a trials annotation. *)
+let rate_cell ~ok ~total =
+  Printf.sprintf "%.2f (%d/%d)" (float_of_int ok /. float_of_int total) ok total
+
+let kbits bits = Printf.sprintf "%.1f" (float_of_int bits /. 1000.0)
+
+let seed_of_experiment id =
+  (* Stable per-experiment seeds so every table is reproducible in
+     isolation. *)
+  1000 + id
+
+let rng_for id = Prng.create (seed_of_experiment id)

@@ -1,0 +1,174 @@
+(* E4 — Theorem 1.2 / Lemmas 4.2-4.4: the for-all lower bound.
+
+   (a) The Lemma 4.3 population statistics (|L_high|, |L_low| as fractions
+   of |L|) and the Lemma 4.4 capture rate |L_high ∩ Q| / |L_high| for the
+   argmax subset Q.
+
+   (b) Decode success for three decoders: the one-query strawman the paper
+   rules out, the literal subset enumeration, and the polynomial top-k
+   variant — against exact sketches and noisy oracles.
+
+   (c) Bits against the Ω(nβ/ε²) curve. *)
+
+open Dcs
+module F = Forall_lb
+
+let lemma43_44_table rng =
+  let t =
+    Table.create ~title:"Lemma 4.3 / 4.4 statistics (mean over 40 instances)"
+      ~columns:
+        [
+          "beta"; "1/eps^2"; "k"; "|L_high|/k"; "|L_low|/k"; "capture |L_high∩Q|/|L_high|";
+        ]
+  in
+  List.iter
+    (fun (beta, d) ->
+      let n = 2 * beta * d in
+      let p = F.make_params ~beta ~inv_eps_sq:d n in
+      let k = F.block_size p in
+      let trials = 40 in
+      let sum_high = ref 0.0 and sum_low = ref 0.0 in
+      let capture_num = ref 0 and capture_den = ref 0 in
+      for _ = 1 to trials do
+        let inst = F.random_instance rng p in
+        let high, low = F.lemma43_stats inst in
+        sum_high := !sum_high +. (float_of_int high /. float_of_int k);
+        sum_low := !sum_low +. (float_of_int low /. float_of_int k);
+        (* Q from the argmax decoder on the exact graph. *)
+        let q =
+          F.topk_q_set p ~sketch_graph:inst.F.graph inst.F.target
+            ~t:inst.F.gh.Gap_hamming.t
+        in
+        (* count how many of L_high landed in Q *)
+        let a = inst.F.target in
+        let quarter = float_of_int d /. 4.0 in
+        let gap_half = float_of_int inst.F.gh.Gap_hamming.gap /. 2.0 in
+        for i = 0 to k - 1 do
+          let s =
+            inst.F.gh.Gap_hamming.strings.(F.string_index_of_address p { a with F.i })
+          in
+          let overlap =
+            float_of_int (Bitstring.intersection_size s inst.F.gh.Gap_hamming.t)
+          in
+          if overlap >= quarter +. gap_half then begin
+            incr capture_den;
+            if q.(i) then incr capture_num
+          end
+        done
+      done;
+      Table.add_row t
+        [
+          Table.fint beta;
+          Table.fint d;
+          Table.fint k;
+          Table.ffloat ~digits:3 (!sum_high /. float_of_int trials);
+          Table.ffloat ~digits:3 (!sum_low /. float_of_int trials);
+          (if !capture_den = 0 then "n/a"
+           else Table.ffloat ~digits:3
+                  (float_of_int !capture_num /. float_of_int !capture_den));
+        ])
+    [ (1, 8); (1, 16); (2, 8); (2, 16); (4, 16) ];
+  Table.print t;
+  Common.note
+    "Lemma 4.3 expects both fractions in [1/2 - 10c, 1/2] as c -> 0 (larger";
+  Common.note
+    "1/eps^2 gives finer gaps, pushing the fractions up); Lemma 4.4 expects";
+  Common.note "capture >= 4/5, which holds with margin."
+
+let success_table rng =
+  let t =
+    Table.create
+      ~title:"decode success: one-query strawman vs Lemma 4.4 decoders (Thm 1.2)"
+      ~columns:
+        [
+          "beta"; "1/eps^2"; "sketch"; "single-query"; "enumerate"; "top-k";
+        ]
+  in
+  List.iter
+    (fun (beta, d) ->
+      let n = 2 * beta * d in
+      let p = F.make_params ~beta ~inv_eps_sq:d n in
+      let k = F.block_size p in
+      let enum_ok = k <= 16 in
+      let row sketch_name sketch_of graph_based =
+        let trials = 60 in
+        let s1 =
+          (F.run_trials rng p ~sketch_of ~decoder:`Single ~trials).F.success_rate
+        in
+        let s2 =
+          if enum_ok then
+            Printf.sprintf "%.2f"
+              (F.run_trials rng p ~sketch_of ~decoder:`Enumerate ~trials:30)
+                .F.success_rate
+          else "skipped (k>16)"
+        in
+        let s3 =
+          if graph_based then
+            Printf.sprintf "%.2f"
+              (F.run_trials rng p ~sketch_of ~decoder:`Topk ~trials).F.success_rate
+          else "n/a"
+        in
+        Table.add_row t
+          [
+            Table.fint beta; Table.fint d; sketch_name;
+            Printf.sprintf "%.2f" s1; s2; s3;
+          ]
+      in
+      row "exact" (fun _ inst -> Exact_sketch.create inst.F.graph) true;
+      let eps = F.eps p in
+      let noisy factor =
+        row
+          (Printf.sprintf "noisy eps'=%.3f" (factor *. eps))
+          (fun r inst ->
+            Noisy_oracle.create ~mode:Noisy_oracle.Random r ~eps:(factor *. eps)
+              inst.F.graph)
+          false
+      in
+      List.iter noisy [ 0.5; 0.1; 0.02 ];
+      Table.add_rule t)
+    [ (1, 8); (2, 8); (1, 16) ];
+  Table.print t;
+  Common.note
+    "the single-query decoder needs accuracy ~ eps^2 (its signal Θ(1/ε) hides";
+  Common.note
+    "under a Θ(β/ε⁴) cut), while the subset decoders survive at Θ(ε) accuracy —";
+  Common.note "the separation that drives the Section 4 reduction."
+
+let bits_table () =
+  let t =
+    Table.create ~title:"raw Gap-Hamming bits vs the Ω(n·β/ε²) curve"
+      ~columns:
+        [ "n"; "beta"; "1/eps^2"; "bits h/ε²"; "n·β/ε²"; "ratio"; "codec kbits" ]
+  in
+  List.iter
+    (fun (n, beta, d) ->
+      let p = F.make_params ~beta ~inv_eps_sq:d n in
+      let cap = F.bits_capacity p in
+      let bound = float_of_int (n * beta * d) in
+      Table.add_row t
+        [
+          Table.fint n;
+          Table.fint beta;
+          Table.fint d;
+          Table.fint cap;
+          Table.ffloat ~digits:0 bound;
+          Table.ffloat ~digits:3 (float_of_int cap /. bound);
+          Common.kbits (F.codec_bits p);
+        ])
+    [
+      (16, 1, 8); (32, 1, 16); (64, 1, 32); (32, 2, 8); (64, 2, 16); (128, 4, 16);
+      (256, 4, 32); (512, 8, 32);
+    ];
+  Table.print t;
+  Common.note
+    "ratio = |input| / (nβ/ε²) is Θ(1) over the whole grid; the codec stores";
+  Common.note "exactly those bits and answers every cut query, matching the bound."
+
+let run () =
+  Common.section "E4  Theorem 1.2 — for-all cut sketch lower bound";
+  let rng = Common.rng_for 4 in
+  lemma43_44_table rng;
+  print_newline ();
+  success_table rng;
+  print_newline ();
+  bits_table ()

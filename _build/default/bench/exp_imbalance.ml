@@ -1,0 +1,72 @@
+(* E15 — the imbalance decomposition as a for-each upper bound:
+   w(S,V\S) = (u(S) + Δ(S))/2 with Δ additive over vertices, so a directed
+   sketch is n exact imbalances plus an undirected sketch at accuracy
+   ε/(1+β). Compared against the direct β-oversampled directed sampler on
+   the same graphs; the Eulerian (β = 1) row is the limiting case where
+   the directed problem collapses onto the undirected one (Δ ≡ 0). *)
+
+open Dcs
+
+let run () =
+  Common.section "E15  Imbalance decomposition — directed sketching via u(S) + Δ(S)";
+  let rng = Common.rng_for 15 in
+  let eps = 0.6 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "n=120 dense weighted balanced digraphs, eps=%.1f (30 cuts audited)" eps)
+      ~columns:
+        [
+          "beta"; "exact kbits"; "imbalance sketch kbits"; "imb worst err";
+          "directed sampler kbits"; "smp worst err"; "max |Δ(v)|";
+        ]
+  in
+  List.iter
+    (fun beta ->
+      let g =
+        if beta = 1.0 then
+          (* genuine Eulerian instance: a circulation *)
+          Eulerian.random_circulation rng ~n:120 ~cycles:220 ~max_weight:20.0
+        else Generators.balanced_digraph rng ~n:120 ~p:0.8 ~beta ~max_weight:30.0
+      in
+      let exact = Exact_sketch.create g in
+      let imb_sk = Imbalance_sketch.create ~c:1.0 rng ~eps ~beta g in
+      let smp = Directed_sparsifier.foreach_sketch ~c:1.0 rng ~eps ~beta g in
+      let audit (sk : Sketch.t) =
+        let worst = ref 0.0 in
+        for _ = 1 to 30 do
+          let c = Cut.random rng ~n:120 in
+          let truth = Cut.value g c in
+          if truth > 0.0 then
+            worst := Float.max !worst (Float.abs (sk.Sketch.query c -. truth) /. truth)
+        done;
+        !worst
+      in
+      let max_imb =
+        Array.fold_left
+          (fun acc b -> Float.max acc (Float.abs b))
+          0.0
+          (Imbalance_sketch.imbalances g)
+      in
+      Table.add_row t
+        [
+          Printf.sprintf "%.0f" beta;
+          Common.kbits exact.Sketch.size_bits;
+          Common.kbits imb_sk.Sketch.size_bits;
+          Table.fpct (audit imb_sk);
+          Common.kbits smp.Sketch.size_bits;
+          Table.fpct (audit smp);
+          Table.ffloat ~digits:1 max_imb;
+        ])
+    [ 1.0; 2.0; 4.0 ];
+  Table.print t;
+  Common.note
+    "β = 1 is a true circulation: every vertex imbalance is 0 and directed";
+  Common.note
+    "sketching reduces exactly to undirected sketching — the Eulerian special";
+  Common.note
+    "case the paper's related work singles out. As β grows the undirected";
+  Common.note
+    "half must run at ε/(1+β), the mechanism behind the β factors in both the";
+  Common.note "upper bounds and the paper's lower bounds."

@@ -1,0 +1,75 @@
+(* E12 — sampling-measure ablation: cut sparsification by Nagamochi–Ibaraki
+   strength indices (Benczúr–Karger) versus by effective resistances
+   (Spielman–Srivastava) on identical graphs. The spectral sampler pays a
+   little more (it preserves all quadratic forms, not just cuts) but both
+   sit on the Õ(n/ε²) curve; the table reports kept edges and worst
+   observed cut error over random cuts. *)
+
+open Dcs
+
+let run () =
+  Common.section "E12  Sampling measures — strengths (BK) vs resistances (SS)";
+  let rng = Common.rng_for 12 in
+  let t =
+    Table.create ~title:"identical inputs, eps = 0.7, c = 1 (100 random cuts audited)"
+      ~columns:
+        [
+          "graph"; "n"; "m"; "BK edges"; "BK worst err"; "SS edges";
+          "SS worst err"; "forms preserved (SS)";
+        ]
+  in
+  let audit g h =
+    let worst = ref 0.0 in
+    for _ = 1 to 100 do
+      let c = Cut.random rng ~n:(Ugraph.n g) in
+      let truth = Ugraph.cut_value g c in
+      if truth > 0.0 then
+        worst := Float.max !worst (Float.abs (Ugraph.cut_value h c -. truth) /. truth)
+    done;
+    !worst
+  in
+  List.iter
+    (fun (name, g) ->
+      let bk = Benczur_karger.sparsify ~c:1.0 rng ~eps:0.7 g in
+      let ss = Spectral_sparsifier.sparsify ~c:1.0 rng ~eps:0.7 g in
+      let lg = Laplacian.of_ugraph g and ls = Laplacian.of_ugraph ss in
+      let form_err = ref 0.0 in
+      for _ = 1 to 50 do
+        let x = Array.init (Ugraph.n g) (fun _ -> Prng.gaussian rng) in
+        let a = Laplacian.quadratic_form lg x in
+        if a > 1e-9 then
+          form_err :=
+            Float.max !form_err
+              (Float.abs (Laplacian.quadratic_form ls x -. a) /. a)
+      done;
+      Table.add_row t
+        [
+          name;
+          Table.fint (Ugraph.n g);
+          Table.fint (Ugraph.m g);
+          Table.fint (Ugraph.m bk);
+          Table.fpct (audit g bk);
+          Table.fint (Ugraph.m ss);
+          Table.fpct (audit g ss);
+          Table.fpct !form_err;
+        ])
+    [
+      ( "weighted complete",
+        Generators.random_multigraph_weights rng (Generators.complete ~n:60)
+          ~max_weight:50 );
+      ( "weighted ER dense",
+        Generators.random_multigraph_weights rng
+          (Generators.erdos_renyi_connected rng ~n:80 ~p:0.5)
+          ~max_weight:20 );
+      ("hypercube Q7", Generators.hypercube ~dim:7);
+      ( "preferential attachment",
+        Generators.preferential_attachment rng ~n:100 ~m_per_node:8 );
+    ];
+  Table.print t;
+  Common.note
+    "both samplers are unbiased per cut; the spectral one also bounds every";
+  Common.note
+    "quadratic form (last column). Sparse/expander graphs (hypercube, PA)";
+  Common.note
+    "have low strengths and resistances ~ 1/w·deg, so neither sampler can";
+  Common.note "drop much — sparsification is a dense-graph phenomenon."

@@ -1,0 +1,97 @@
+(* E8 — "tight up to logarithmic factors": measured sketch sizes against
+   the lower-bound curves, on the lower bounds' own instance families.
+
+   Three size columns per configuration:
+   - the lower bound value (n√β/ε for for-each, nβ/ε² for for-all);
+   - the instance codec — a real data structure answering every cut query
+     exactly, whose size is the encoded string: the matching upper bound;
+   - the sampling sketches (general-purpose upper bounds), which sit above
+     the curve by the expected logarithmic/constant factors. *)
+
+open Dcs
+
+let foreach_table rng =
+  let t =
+    Table.create ~title:"for-each (Theorem 1.1): sizes in kbits"
+      ~columns:
+        [
+          "n"; "beta"; "1/eps"; "LB n√β/ε"; "codec"; "exact sketch";
+          "sampler (for-each, directed)"; "codec/LB";
+        ]
+  in
+  List.iter
+    (fun (n, beta, inv_eps) ->
+      let p = Foreach_lb.make_params ~beta ~inv_eps n in
+      let inst = Foreach_lb.random_instance rng p in
+      let lb =
+        float_of_int n *. sqrt (float_of_int beta) *. float_of_int inv_eps
+      in
+      let codec = Foreach_lb.codec_bits p in
+      let exact = Exact_sketch.create inst.Foreach_lb.graph in
+      let sampler =
+        Directed_sparsifier.foreach_sketch rng ~eps:(Foreach_lb.eps p)
+          ~beta:(float_of_int beta) inst.Foreach_lb.graph
+      in
+      Table.add_row t
+        [
+          Table.fint n;
+          Table.fint beta;
+          Table.fint inv_eps;
+          Common.kbits (int_of_float lb);
+          Common.kbits codec;
+          Common.kbits exact.Sketch.size_bits;
+          Common.kbits sampler.Sketch.size_bits;
+          Table.ffloat ~digits:2 (float_of_int codec /. lb);
+        ])
+    [ (64, 1, 8); (256, 1, 16); (256, 4, 8); (512, 4, 16); (1024, 16, 16) ];
+  Table.print t
+
+let forall_table rng =
+  let t =
+    Table.create ~title:"for-all (Theorem 1.2): sizes in kbits"
+      ~columns:
+        [
+          "n"; "beta"; "1/eps^2"; "LB nβ/ε²"; "codec"; "exact sketch";
+          "sampler (for-all, directed)"; "codec/LB";
+        ]
+  in
+  List.iter
+    (fun (n, beta, d) ->
+      let p = Forall_lb.make_params ~beta ~inv_eps_sq:d n in
+      let inst = Forall_lb.random_instance rng p in
+      let lb = float_of_int (n * beta * d) in
+      let codec = Forall_lb.codec_bits p in
+      let exact = Exact_sketch.create inst.Forall_lb.graph in
+      let sampler =
+        Directed_sparsifier.forall_sketch rng ~eps:(Forall_lb.eps p)
+          ~beta:(float_of_int beta) inst.Forall_lb.graph
+      in
+      Table.add_row t
+        [
+          Table.fint n;
+          Table.fint beta;
+          Table.fint d;
+          Common.kbits (int_of_float lb);
+          Common.kbits codec;
+          Common.kbits exact.Sketch.size_bits;
+          Common.kbits sampler.Sketch.size_bits;
+          Table.ffloat ~digits:2 (float_of_int codec /. lb);
+        ])
+    [ (16, 1, 8); (64, 1, 32); (64, 2, 16); (256, 2, 64); (256, 4, 32) ];
+  Table.print t
+
+let run () =
+  Common.section "E8  Tightness — measured sketch sizes vs the bound curves";
+  let rng = Common.rng_for 8 in
+  foreach_table rng;
+  print_newline ();
+  forall_table rng;
+  Common.note
+    "codec/LB ~ 1 on both families: the lower bounds are met by actual data";
+  Common.note
+    "structures on their own instances. The generic samplers carry the extra";
+  Common.note
+    "log-factor / union-bound overheads the paper's Õ hides (and our for-each";
+  Common.note
+    "sampler is the provable Õ(nβ/ε²)-style one — the Õ(n√β/ε) construction";
+  Common.note "of CCPS21 is out of scope, see DESIGN.md)."

@@ -1,0 +1,67 @@
+(* E7 — Theorem 5.7 / Section 5.4 ablation: searching at accuracy ε (the
+   original BGMP21 schedule, Õ(m/(ε⁴k))) versus searching at constant
+   accuracy with a single ε-accurate confirming call (the paper's
+   modification, Õ(m/(ε²k))).
+
+   The query counters expose the separation directly: the original variant
+   hits the full-read ceiling (reading all 2m edge slots) at much larger ε
+   than the modified one, and in the pre-ceiling region its query count
+   grows with slope ≈ -4 in log-log against ε versus ≈ -2. *)
+
+open Dcs
+
+let run () =
+  Common.section "E7  Theorem 5.7 — modified vs original VERIFY-GUESS schedule";
+  let rng = Common.rng_for 7 in
+  let g = Generators.planted_mincut rng ~block:200 ~k:150 ~p_inner:0.85 in
+  let true_k = Stoer_wagner.mincut_value g in
+  let m = Ugraph.m g in
+  Printf.printf "instance: n=%d m=%d true min cut=%.0f (full read = %d queries)\n"
+    (Ugraph.n g) m true_k
+    ((2 * m) + Ugraph.n g);
+  let t =
+    Table.create ~title:"queries vs eps (same instance, same oracle rules)"
+      ~columns:
+        [
+          "eps"; "modified queries"; "modified est"; "original queries";
+          "original est"; "capped?";
+        ]
+  in
+  let cap = (2 * m) + Ugraph.n g in
+  let pts_mod = ref [] and pts_orig = ref [] in
+  List.iter
+    (fun eps ->
+      let o1 = Oracle.create ~memoize:true g in
+      let r_mod = Estimator.estimate ~c0:1.0 rng o1 ~eps ~mode:Estimator.Modified in
+      let o2 = Oracle.create ~memoize:true g in
+      let r_orig = Estimator.estimate ~c0:1.0 rng o2 ~eps ~mode:Estimator.Original in
+      if r_mod.Estimator.total_queries < cap then
+        pts_mod := (eps, float_of_int r_mod.Estimator.total_queries) :: !pts_mod;
+      if r_orig.Estimator.total_queries < cap then
+        pts_orig := (eps, float_of_int r_orig.Estimator.total_queries) :: !pts_orig;
+      Table.add_row t
+        [
+          Printf.sprintf "%.3f" eps;
+          Table.fint r_mod.Estimator.total_queries;
+          Table.ffloat ~digits:1 r_mod.Estimator.estimate;
+          Table.fint r_orig.Estimator.total_queries;
+          Table.ffloat ~digits:1 r_orig.Estimator.estimate;
+          Table.fbool
+            (r_mod.Estimator.total_queries >= cap
+            || r_orig.Estimator.total_queries >= cap);
+        ])
+    [ 1.0; 0.9; 0.8; 0.65; 0.5; 0.4; 0.3 ];
+  Table.print t;
+  let slope name pts =
+    if List.length pts >= 3 then
+      Common.note "%s pre-ceiling log-log slope vs eps: %.2f" name
+        (Stats.loglog_slope (Array.of_list pts))
+    else Common.note "%s: too few pre-ceiling points for a slope" name
+  in
+  slope "modified" !pts_mod;
+  slope "original" !pts_orig;
+  Common.note
+    "the original schedule pays its final VERIFY-GUESS at guess t/κ(ε) with";
+  Common.note
+    "κ(ε) ~ 1/ε², inflating the sampling rate by an extra 1/ε² — it saturates";
+  Common.note "the 2m+n ceiling while the modified schedule still samples."

@@ -1,0 +1,69 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe -- --only E3 E7
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --skip-slow   # skip the SW-heavy ones *)
+
+let experiments =
+  [
+    ("E1", "Lemma 3.2 decode matrix", false, Exp_matrix.run);
+    ("E2", "Figure 1 cut anatomy", false, Exp_fig1.run);
+    ("E3", "Theorem 1.1 for-each lower bound", false, Exp_foreach_lb.run);
+    ("E4", "Theorem 1.2 for-all lower bound", false, Exp_forall_lb.run);
+    ("E5", "Lemma 5.5 G_{x,y} min cut", false, Exp_gxy.run);
+    ("E6", "Theorem 1.3 query lower bound", false, Exp_query_lb.run);
+    ("E7", "Theorem 5.7 schedule ablation", true, Exp_upper_query.run);
+    ("E8", "Tightness: sketch sizes vs bounds", false, Exp_tightness.run);
+    ("E9", "Distributed min-cut", true, Exp_distributed.run);
+    ("E10", "Bechamel timings", false, Exp_timing.run);
+    ("E11", "Naive vs Hadamard encoding ablation", false, Exp_naive.run);
+    ("E12", "Sampling measures: strengths vs resistances", false, Exp_spectral.run);
+    ("E13", "Beta-scaling of directed sparsifiers", false, Exp_beta_scaling.run);
+    ("E14", "Cut counting / enumeration coverage", false, Exp_cut_counting.run);
+    ("E15", "Imbalance decomposition sketch", false, Exp_imbalance.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse only skip_slow = function
+    | [] -> (only, skip_slow)
+    | "--list" :: _ ->
+        List.iter
+          (fun (id, desc, slow, _) ->
+            Printf.printf "%-4s %s%s\n" id desc (if slow then " (slow)" else ""))
+          experiments;
+        exit 0
+    | "--skip-slow" :: rest -> parse only true rest
+    | "--only" :: rest ->
+        let ids, rest' =
+          let rec take acc = function
+            | x :: tl when String.length x > 0 && x.[0] <> '-' -> take (x :: acc) tl
+            | tl -> (List.rev acc, tl)
+          in
+          take [] rest
+        in
+        parse (only @ ids) skip_slow rest'
+    | x :: _ ->
+        Printf.eprintf "unknown argument %S (try --list)\n" x;
+        exit 2
+  in
+  let only, skip_slow = parse [] false args in
+  print_endline
+    "Reproduction benchmarks: Tight Lower Bounds for Directed Cut \
+     Sparsification and Distributed Min-Cut (PODS 2024)";
+  let started = Sys.time () in
+  List.iter
+    (fun (id, _, slow, run) ->
+      let selected =
+        (match only with [] -> true | ids -> List.mem id ids)
+        && not (skip_slow && slow && only = [])
+      in
+      if selected then begin
+        let t0 = Sys.time () in
+        run ();
+        Printf.printf "  [%s done in %.1fs]\n" id (Sys.time () -. t0)
+      end)
+    experiments;
+  Printf.printf "\nall selected experiments done in %.1fs\n" (Sys.time () -. started)

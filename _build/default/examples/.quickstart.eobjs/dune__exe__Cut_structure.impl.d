@@ -1,0 +1,1 @@
+examples/cut_structure.ml: Cut Dcs Generators Gomory_hu Hashtbl Karger List Printf Prng Resistance Spectral_sparsifier String Ugraph

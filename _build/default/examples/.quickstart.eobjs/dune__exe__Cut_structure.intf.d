@@ -1,0 +1,1 @@
+examples/cut_structure.mli:

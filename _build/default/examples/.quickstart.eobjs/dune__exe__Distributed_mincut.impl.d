@@ -1,0 +1,1 @@
+examples/distributed_mincut.ml: Array Coordinator Cut Dcs Generators List Partition Printf Prng Stoer_wagner Ugraph

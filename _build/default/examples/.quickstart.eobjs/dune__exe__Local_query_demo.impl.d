@@ -1,0 +1,1 @@
+examples/local_query_demo.ml: Bitstring Dcs Estimator Generators Gxy List Oracle Printf Prng Stoer_wagner Two_sum Ugraph

@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Array Balance Dcs Dcs_util Digraph Exact_sketch Foreach_lb List Noisy_oracle Printf Prng Sketch String

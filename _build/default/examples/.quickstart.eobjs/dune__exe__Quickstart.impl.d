@@ -1,0 +1,1 @@
+examples/quickstart.ml: Balance Cut Dcs Digraph Directed_sparsifier Exact_sketch Generators Karger Printf Prng Sketch Stoer_wagner Ugraph

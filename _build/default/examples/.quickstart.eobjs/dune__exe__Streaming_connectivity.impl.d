@@ -1,0 +1,1 @@
+examples/streaming_connectivity.ml: Agm_sketch Array Dcs Generators List Printf Prng Traversal Ugraph

@@ -1,0 +1,66 @@
+(* "Graphs as storage": the Section 3 reduction, run end to end.
+
+   Alice encodes a text message into the edge weights of a β-balanced
+   digraph (Theorem 1.1's construction); Bob recovers it bit by bit using
+   only cut-value queries — four per bit, exactly as in the paper's proof.
+   Then the same decode is attempted through a lossy (1 ± ε') cut oracle to
+   show the accuracy threshold at which the channel breaks.
+
+   Run with: dune exec examples/lower_bound_demo.exe *)
+
+open Dcs
+module F = Foreach_lb
+
+let message = "PODS24"
+
+let bits_of_string = Dcs_util.Message.to_signs
+let string_of_bits = Dcs_util.Message.of_signs
+
+let () =
+  let rng = Prng.create 7 in
+  let payload = bits_of_string message in
+
+  (* Pick construction parameters with enough capacity. *)
+  let p = F.make_params ~beta:1 ~inv_eps:8 32 in
+  let capacity = F.bits_capacity p in
+  Printf.printf "construction: n=%d, β=%d, 1/ε=%d -> capacity %d bits\n"
+    p.F.n p.F.beta p.F.inv_eps capacity;
+  assert (Array.length payload <= capacity);
+
+  (* Pad the payload with random signs, as Alice's string is random. *)
+  let s =
+    Array.init capacity (fun i ->
+        if i < Array.length payload then payload.(i) else Prng.sign rng)
+  in
+  let inst = F.encode p ~s in
+  Printf.printf "encoded %S into a digraph with %d weighted edges (balance <= %.1f)\n"
+    message (Digraph.m inst.F.graph)
+    (Balance.edgewise_upper_bound inst.F.graph);
+
+  (* Bob decodes through exact cut queries. *)
+  let sk = Exact_sketch.create inst.F.graph in
+  let decode query =
+    Array.init (Array.length payload) (fun q ->
+        (F.decode_bit p ~query q).F.decoded)
+  in
+  let recovered = decode sk.Sketch.query in
+  Printf.printf "decoded via exact cut queries : %S (4 cut queries per bit)\n"
+    (string_of_bits recovered);
+
+  (* Now through increasingly lossy oracles. *)
+  List.iter
+    (fun eps' ->
+      let noisy = Noisy_oracle.create rng ~eps:eps' inst.F.graph in
+      let bits = decode noisy.Sketch.query in
+      let errors = ref 0 in
+      Array.iteri (fun i b -> if b <> payload.(i) then incr errors) bits;
+      Printf.printf "decoded via (1±%.3f) oracle  : %S (%d/%d bit errors)\n" eps'
+        (String.escaped (string_of_bits bits))
+        !errors (Array.length payload))
+    [ 0.001; 0.01; 0.05 ];
+
+  Printf.printf
+    "the paper's threshold for ε=1/%d is ε' ≈ c·ε/ln(1/ε) ≈ %.4f — decoding \
+     survives below it and degrades above it.\n"
+    p.F.inv_eps
+    (F.eps p /. log (float_of_int p.F.inv_eps) /. 6.0)

@@ -1,0 +1,44 @@
+(* Quickstart: build a balanced digraph, measure its balance, sparsify it
+   in both the for-all and for-each senses, and compare cut estimates.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Dcs
+
+let () =
+  let rng = Prng.create 2024 in
+
+  (* A random strongly connected 2-balanced digraph on 64 vertices. *)
+  let beta = 2.0 in
+  let g = Generators.balanced_digraph rng ~n:64 ~p:0.5 ~beta ~max_weight:20.0 in
+  Printf.printf "graph: n=%d directed edges=%d total weight=%.1f\n" (Digraph.n g)
+    (Digraph.m g) (Digraph.total_weight g);
+  Printf.printf "balance: edgewise certificate <= %.2f, sampled witness >= %.2f\n"
+    (Balance.edgewise_upper_bound g)
+    (Balance.sampled_lower_bound rng ~trials:200 g);
+
+  (* Pick a cut and look at both directions. *)
+  let s = Cut.of_mem ~n:64 (fun v -> v < 32) in
+  Printf.printf "cut S = first half: w(S,S̄)=%.1f  w(S̄,S)=%.1f  ratio=%.2f\n"
+    (Cut.value g s) (Cut.value_rev g s) (Balance.of_cut g s);
+
+  (* Sketch it three ways and query the same cut. *)
+  let exact = Exact_sketch.create g in
+  let forall = Directed_sparsifier.forall_sketch rng ~eps:0.25 ~beta g in
+  let foreach = Directed_sparsifier.foreach_sketch rng ~eps:0.25 ~beta g in
+  let show (sk : Sketch.t) =
+    Printf.printf "  %-28s size=%7d bits   estimate(S)=%8.1f   error=%.3f%%\n"
+      sk.Sketch.name sk.Sketch.size_bits (sk.Sketch.query s)
+      (100.0 *. Sketch.relative_error sk g s)
+  in
+  print_endline "sketches:";
+  show exact;
+  show forall;
+  show foreach;
+
+  (* Exact minimum cut of the undirected projection, two ways. *)
+  let u = Ugraph.of_digraph g in
+  let sw, cut = Stoer_wagner.mincut u in
+  let kv, _ = Karger.mincut rng ~trials:100 u in
+  Printf.printf "undirected projection min cut: stoer-wagner=%.1f (|S|=%d), karger=%.1f\n"
+    sw (Cut.cardinal cut) kv

@@ -1,0 +1,1 @@
+lib/comm/bitstring.ml: Array Dcs_util Format

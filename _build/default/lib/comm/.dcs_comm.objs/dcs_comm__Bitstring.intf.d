@@ -1,0 +1,1 @@
+lib/comm/bitstring.mli: Dcs_util Format

@@ -1,0 +1,1 @@
+lib/comm/gap_hamming.ml: Array Bitstring Dcs_util Float List

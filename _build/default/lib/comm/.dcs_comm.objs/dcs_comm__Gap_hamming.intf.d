@@ -1,0 +1,1 @@
+lib/comm/gap_hamming.mli: Bitstring Dcs_util

@@ -1,0 +1,1 @@
+lib/comm/index_game.ml: Array Dcs_util

@@ -1,0 +1,1 @@
+lib/comm/index_game.mli: Dcs_util

@@ -1,0 +1,1 @@
+lib/comm/two_sum.ml: Array Bitstring Dcs_util Float List

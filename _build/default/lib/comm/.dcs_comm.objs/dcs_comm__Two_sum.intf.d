@@ -1,0 +1,1 @@
+lib/comm/two_sum.mli: Bitstring Dcs_util

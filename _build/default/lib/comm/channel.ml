@@ -1,0 +1,13 @@
+type t = { mutable bits : int; mutable rounds : int }
+
+let create () = { bits = 0; rounds = 0 }
+
+let send t ~bits =
+  if bits < 0 then invalid_arg "Channel.send: negative bits";
+  t.bits <- t.bits + bits;
+  t.rounds <- t.rounds + 1
+
+let exchange = send
+
+let total_bits t = t.bits
+let rounds t = t.rounds

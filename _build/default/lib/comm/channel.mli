@@ -1,0 +1,23 @@
+(** One-way communication channel with bit metering.
+
+    Every lower-bound reduction in the paper is a one-way protocol: Alice
+    encodes her input into a message (a cut sketch, or simulated query
+    answers) and Bob decodes. The channel records how many bits crossed so
+    experiments can compare the measured message size against the
+    information that was provably transferred (the decoded string). *)
+
+type t
+
+val create : unit -> t
+
+val send : t -> bits:int -> unit
+(** Record a message of [bits] bits from Alice to Bob. *)
+
+val exchange : t -> bits:int -> unit
+(** Record an interactive exchange (used by the Lemma 5.6 query simulation,
+    where each local query costs at most 2 bits). *)
+
+val total_bits : t -> int
+
+val rounds : t -> int
+(** Number of [send]/[exchange] events. *)

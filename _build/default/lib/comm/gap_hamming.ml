@@ -1,0 +1,55 @@
+module Prng = Dcs_util.Prng
+
+type instance = {
+  d : int;
+  strings : Bitstring.t array;
+  i : int;
+  t : Bitstring.t;
+  high : bool;
+  gap : int;
+}
+
+let generate rng ~h ~inv_eps_sq:d ~c =
+  if h <= 0 then invalid_arg "Gap_hamming.generate: h";
+  if d < 4 || d mod 4 <> 0 then
+    invalid_arg "Gap_hamming.generate: 1/eps^2 must be a positive multiple of 4";
+  if c <= 0.0 then invalid_arg "Gap_hamming.generate: c";
+  let w = d / 2 in
+  let eps = 1.0 /. sqrt (float_of_int d) in
+  let g_real = c /. eps in
+  let gap = 2 * max 1 (int_of_float (Float.ceil (g_real /. 2.0))) in
+  if gap > d / 4 then invalid_arg "Gap_hamming.generate: gap too large for d";
+  let i = Prng.int rng h in
+  let t = Bitstring.random_weight rng ~n:d ~weight:w in
+  let high = Prng.bool rng in
+  (* Overlap o between s_i and t so that Δ = d - 2o equals d/2 ± gap. *)
+  let o = if high then (d / 4) - (gap / 2) else (d / 4) + (gap / 2) in
+  let t_ones = Array.of_list (Bitstring.ones t) in
+  let t_zeros =
+    Array.of_list
+      (List.filter_map
+         (fun j -> if t.(j) then None else Some j)
+         (List.init d (fun j -> j)))
+  in
+  let s_i = Bitstring.zeros d in
+  Array.iter (fun j -> s_i.(t_ones.(j)) <- true)
+    (Prng.sample_without_replacement rng ~k:o ~n:w);
+  Array.iter (fun j -> s_i.(t_zeros.(j)) <- true)
+    (Prng.sample_without_replacement rng ~k:(w - o) ~n:(d - w));
+  let strings =
+    Array.init h (fun j ->
+        if j = i then s_i else Bitstring.random_weight rng ~n:d ~weight:w)
+  in
+  { d; strings; i; t; high; gap }
+
+let check inst =
+  let w = inst.d / 2 in
+  Array.for_all (fun s -> Bitstring.hamming_weight s = w) inst.strings
+  && Bitstring.hamming_weight inst.t = w
+  && inst.i >= 0
+  && inst.i < Array.length inst.strings
+  &&
+  let delta = Bitstring.hamming_distance inst.strings.(inst.i) inst.t in
+  if inst.high then delta >= w + inst.gap else delta <= w - inst.gap
+
+let total_input_bits inst = Array.length inst.strings * inst.d

@@ -1,0 +1,32 @@
+(** The h-fold distributional Gap-Hamming problem of Lemma 4.1 (ACK+16).
+
+    Alice holds h strings s_1..s_h ∈ {0,1}^d of Hamming weight d/2 where
+    d = 1/ε². Bob holds an index i and a string t of weight d/2 such that
+    Δ(s_i, t) is, with equal probability, either >= d/2 + c/ε (the "high"
+    side) or <= d/2 - c/ε (the "low" side); all other s_j are uniform.
+    Deciding the side with probability 2/3 from one message requires
+    Ω(h/ε²) bits.
+
+    Distances between equal-weight strings are even, so the generator uses
+    the gap g = 2·ceil(c/(2ε)) and plants Δ(s_i, t) = d/2 ± g exactly, which
+    lies in the support of the conditional distribution of the lemma. *)
+
+type instance = {
+  d : int;                       (** string length, 1/ε² *)
+  strings : Bitstring.t array;   (** Alice's h strings, each weight d/2 *)
+  i : int;                       (** Bob's index *)
+  t : Bitstring.t;               (** Bob's string, weight d/2 *)
+  high : bool;                   (** true iff Δ(s_i, t) >= d/2 + gap *)
+  gap : int;                     (** planted distance offset *)
+}
+
+val generate : Dcs_util.Prng.t -> h:int -> inv_eps_sq:int -> c:float -> instance
+(** [inv_eps_sq] is d = 1/ε²; must be a multiple of 4 so that the weight d/2
+    and overlap d/4 are integers. [c] is the gap constant (paper's c). *)
+
+val check : instance -> bool
+(** Internal consistency: weights, index range, and the planted gap. *)
+
+val total_input_bits : instance -> int
+(** h·d — the raw size of Alice's input, an upper bound on useful
+    communication. *)

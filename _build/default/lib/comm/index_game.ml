@@ -1,0 +1,44 @@
+module Prng = Dcs_util.Prng
+
+type instance = { s : int array; i : int }
+
+let generate rng ~n =
+  if n <= 0 then invalid_arg "Index_game.generate";
+  { s = Array.init n (fun _ -> Prng.sign rng); i = Prng.int rng n }
+
+type 'msg protocol = {
+  encode : int array -> 'msg * int;
+  decode : 'msg -> int -> int;
+}
+
+type result = {
+  trials : int;
+  successes : int;
+  success_rate : float;
+  mean_message_bits : float;
+  string_length : int;
+}
+
+let play rng ~n ~trials proto =
+  if trials <= 0 then invalid_arg "Index_game.play";
+  let successes = ref 0 in
+  let bits = ref 0 in
+  for _ = 1 to trials do
+    let inst = generate rng ~n in
+    let msg, size = proto.encode inst.s in
+    bits := !bits + size;
+    if proto.decode msg inst.i = inst.s.(inst.i) then incr successes
+  done;
+  {
+    trials;
+    successes = !successes;
+    success_rate = float_of_int !successes /. float_of_int trials;
+    mean_message_bits = float_of_int !bits /. float_of_int trials;
+    string_length = n;
+  }
+
+let trivial_protocol =
+  {
+    encode = (fun s -> (s, Array.length s));
+    decode = (fun s i -> s.(i));
+  }

@@ -1,0 +1,32 @@
+(** The distributional Index problem of Lemma 3.1 (KNR01).
+
+    Alice holds a uniformly random sign string s ∈ {-1,+1}^n; Bob holds a
+    uniformly random index i and must output s_i from a single message. Any
+    protocol succeeding with probability >= 2/3 transfers Ω(n) bits. The
+    Section 3 reduction instantiates Alice's message with a for-each cut
+    sketch; this module provides the instance distribution and a harness
+    that measures a protocol's success probability and message size. *)
+
+type instance = { s : int array; (** entries in {-1,+1} *) i : int }
+
+val generate : Dcs_util.Prng.t -> n:int -> instance
+
+type 'msg protocol = {
+  encode : int array -> 'msg * int;  (** message and its size in bits *)
+  decode : 'msg -> int -> int;       (** recover s_i from message and index *)
+}
+
+type result = {
+  trials : int;
+  successes : int;
+  success_rate : float;
+  mean_message_bits : float;
+  string_length : int;
+}
+
+val play : Dcs_util.Prng.t -> n:int -> trials:int -> 'msg protocol -> result
+(** Fresh random instance per trial. *)
+
+val trivial_protocol : int array protocol
+(** Alice sends s verbatim (1 bit per sign): the information-theoretic
+    ceiling the lower bound is measured against. *)

@@ -1,0 +1,82 @@
+module Prng = Dcs_util.Prng
+
+type instance = {
+  t : int;
+  len : int;
+  alpha : int;
+  xs : Bitstring.t array;
+  ys : Bitstring.t array;
+  intersecting : int;
+}
+
+(* One pair with INT(x, y) = [common] exactly: [common] shared 1-positions,
+   and every other position is 1 in at most one of the two strings. *)
+let random_pair rng ~len ~common =
+  let x = Bitstring.zeros len and y = Bitstring.zeros len in
+  let shared = Prng.sample_without_replacement rng ~k:common ~n:len in
+  Array.iter
+    (fun p ->
+      x.(p) <- true;
+      y.(p) <- true)
+    shared;
+  for p = 0 to len - 1 do
+    if not x.(p) then begin
+      match Prng.int rng 3 with
+      | 0 -> x.(p) <- true
+      | 1 -> y.(p) <- true
+      | _ -> ()
+    end
+  done;
+  (x, y)
+
+let generate rng ~t ~len ~alpha ~frac_intersecting =
+  if t <= 0 then invalid_arg "Two_sum.generate: t";
+  if alpha < 1 then invalid_arg "Two_sum.generate: alpha >= 1";
+  if len < 2 * alpha then invalid_arg "Two_sum.generate: len too small";
+  if frac_intersecting < 0.0 || frac_intersecting > 1.0 then
+    invalid_arg "Two_sum.generate: frac_intersecting";
+  let min_r = max 1 ((t + 999) / 1000) in
+  let r = max min_r (int_of_float (Float.round (frac_intersecting *. float_of_int t))) in
+  let r = min r t in
+  let which = Array.make t false in
+  Array.iter (fun i -> which.(i) <- true)
+    (Prng.sample_without_replacement rng ~k:r ~n:t);
+  let xs = Array.make t [||] and ys = Array.make t [||] in
+  for i = 0 to t - 1 do
+    let common = if which.(i) then alpha else 0 in
+    let x, y = random_pair rng ~len ~common in
+    xs.(i) <- x;
+    ys.(i) <- y
+  done;
+  { t; len; alpha; xs; ys; intersecting = r }
+
+let disj_sum inst = inst.t - inst.intersecting
+
+let int_sum inst = inst.alpha * inst.intersecting
+
+let check inst =
+  let ok = ref true in
+  let r = ref 0 in
+  for i = 0 to inst.t - 1 do
+    let v = Bitstring.intersection_size inst.xs.(i) inst.ys.(i) in
+    if v = inst.alpha then incr r
+    else if v <> 0 then ok := false
+  done;
+  !ok && !r = inst.intersecting && 1000 * !r >= inst.t
+
+let concat_pair inst =
+  ( Bitstring.concat (Array.to_list inst.xs),
+    Bitstring.concat (Array.to_list inst.ys) )
+
+let amplify inst ~alpha =
+  if inst.alpha <> 1 then invalid_arg "Two_sum.amplify: input must have alpha = 1";
+  if alpha < 1 then invalid_arg "Two_sum.amplify: alpha >= 1";
+  let rep s = Bitstring.concat (List.init alpha (fun _ -> s)) in
+  {
+    t = inst.t;
+    len = alpha * inst.len;
+    alpha;
+    xs = Array.map rep inst.xs;
+    ys = Array.map rep inst.ys;
+    intersecting = inst.intersecting;
+  }

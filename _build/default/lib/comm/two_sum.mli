@@ -1,0 +1,46 @@
+(** The promise 2-SUM(t, L, α) problem of Definition 5.2 (after WZ14).
+
+    Alice holds strings X^1..X^t and Bob Y^1..Y^t, each of length L, with
+    the promise that INT(X^i, Y^i) ∈ {0, α} for every i and that at least a
+    1/1000 fraction of pairs intersect. The goal is to approximate
+    Σ_i DISJ(X^i, Y^i) within additive √t. Solving it requires Ω(tL/α)
+    expected bits (Theorem 5.4, by the α-fold concatenation reduction from
+    2-SUM(t, L/α, 1), which this module also implements). *)
+
+type instance = {
+  t : int;
+  len : int;                 (** L *)
+  alpha : int;
+  xs : Bitstring.t array;
+  ys : Bitstring.t array;
+  intersecting : int;        (** r = #\{i : INT = α\} *)
+}
+
+val generate :
+  Dcs_util.Prng.t ->
+  t:int ->
+  len:int ->
+  alpha:int ->
+  frac_intersecting:float ->
+  instance
+(** Random instance with ~[frac_intersecting]·t intersecting pairs (at least
+    one; at least t/1000 enforced). Requires [alpha >= 1] and enough room:
+    [len >= 2*alpha]. Non-intersecting pairs are disjoint strings; the
+    intersecting ones share exactly [alpha] common positions. *)
+
+val disj_sum : instance -> int
+(** Σ_i DISJ(X^i, Y^i) = t - intersecting. *)
+
+val int_sum : instance -> int
+(** Σ_i INT(X^i, Y^i) = α · intersecting. *)
+
+val check : instance -> bool
+(** Validates the promise. *)
+
+val concat_pair : instance -> Bitstring.t * Bitstring.t
+(** The (x, y) concatenations of Lemma 5.6 step 1; both have length t·L. *)
+
+val amplify : instance -> alpha:int -> instance
+(** The Theorem 5.4 reduction: concatenate α copies of each string, turning
+    a 2-SUM(t, L, 1) instance into 2-SUM(t, αL, α). Requires the input to
+    have [alpha = 1]. *)

@@ -1,0 +1,100 @@
+(** Directed cut sparsification and distributed min-cut — lower bounds and
+    matching algorithms.
+
+    This is the umbrella module: one alias per sub-library, grouped the way
+    the paper is. Reproduction of "Tight Lower Bounds for Directed Cut
+    Sparsification and Distributed Min-Cut" (PODS 2024).
+
+    {1 Substrates}
+
+    - {!Prng}, {!Stats}, {!Bits}, {!Table} — determinism, statistics, and
+      bit-level size accounting.
+    - {!Hadamard}, {!Pm_vector}, {!Decode_matrix} — the Lemma 3.2 machinery.
+    - {!Digraph}, {!Ugraph}, {!Cut}, {!Balance}, {!Generators},
+      {!Traversal} — graphs and cuts.
+    - {!Stoer_wagner}, {!Karger}, {!Dinic}, {!Brute} — exact and randomized
+      minimum cuts.
+    - {!Bitstring}, {!Channel}, {!Index_game}, {!Gap_hamming}, {!Two_sum} —
+      the communication problems behind each lower bound.
+
+    {1 Cut sketches (Definitions 2.2 / 2.3 and upper bounds)}
+
+    - {!Sketch} — the sketch interface the reductions consume.
+    - {!Exact_sketch}, {!Noisy_oracle} — reference points.
+    - {!Strength}, {!Importance}, {!Benczur_karger}, {!Foreach_sampler},
+      {!Directed_sparsifier} — sampling-based sketches.
+
+    {1 The paper's lower bounds}
+
+    - {!Foreach_lb} — Section 3 / Theorem 1.1.
+    - {!Forall_lb} — Section 4 / Theorem 1.2.
+    - {!Oracle}, {!Gxy}, {!Verify_guess}, {!Estimator} — Section 5 /
+      Theorems 1.3 and 5.7.
+
+    {1 Distributed min-cut}
+
+    - {!Partition}, {!Coordinator} — the ACK+16 pipeline from the
+      introduction. *)
+
+module Prng = Dcs_util.Prng
+module Stats = Dcs_util.Stats
+module Bits = Dcs_util.Bits
+module Table = Dcs_util.Table
+module Message = Dcs_util.Message
+
+module Hadamard = Dcs_linalg.Hadamard
+module Pm_vector = Dcs_linalg.Pm_vector
+module Decode_matrix = Dcs_linalg.Decode_matrix
+
+module Digraph = Dcs_graph.Digraph
+module Ugraph = Dcs_graph.Ugraph
+module Cut = Dcs_graph.Cut
+module Balance = Dcs_graph.Balance
+module Generators = Dcs_graph.Generators
+module Traversal = Dcs_graph.Traversal
+module Eulerian = Dcs_graph.Eulerian
+module Serialize = Dcs_graph.Serialize
+
+module Stoer_wagner = Dcs_mincut.Stoer_wagner
+module Karger = Dcs_mincut.Karger
+module Karger_stein = Dcs_mincut.Karger_stein
+module Gomory_hu = Dcs_mincut.Gomory_hu
+module Dinic = Dcs_mincut.Dinic
+module Brute = Dcs_mincut.Brute
+
+module Bitstring = Dcs_comm.Bitstring
+module Channel = Dcs_comm.Channel
+module Index_game = Dcs_comm.Index_game
+module Gap_hamming = Dcs_comm.Gap_hamming
+module Two_sum = Dcs_comm.Two_sum
+
+module Sketch = Dcs_sketch.Sketch
+module Exact_sketch = Dcs_sketch.Exact_sketch
+module Noisy_oracle = Dcs_sketch.Noisy_oracle
+module Strength = Dcs_sketch.Strength
+module Importance = Dcs_sketch.Importance
+module Benczur_karger = Dcs_sketch.Benczur_karger
+module Foreach_sampler = Dcs_sketch.Foreach_sampler
+module Directed_sparsifier = Dcs_sketch.Directed_sparsifier
+module Imbalance_sketch = Dcs_sketch.Imbalance_sketch
+
+module Layout = Dcs_lower.Layout
+module Foreach_lb = Dcs_lower.Foreach_lb
+module Forall_lb = Dcs_lower.Forall_lb
+module Naive_foreach = Dcs_lower.Naive_foreach
+
+module Oracle = Dcs_localquery.Oracle
+module Gxy = Dcs_localquery.Gxy
+module Verify_guess = Dcs_localquery.Verify_guess
+module Estimator = Dcs_localquery.Estimator
+module Reduction = Dcs_localquery.Reduction
+
+module Laplacian = Dcs_spectral.Laplacian
+module Resistance = Dcs_spectral.Resistance
+module Spectral_sparsifier = Dcs_spectral.Spectral_sparsifier
+
+module L0_sampler = Dcs_stream.L0_sampler
+module Agm_sketch = Dcs_stream.Agm_sketch
+
+module Partition = Dcs_distributed.Partition
+module Coordinator = Dcs_distributed.Coordinator

@@ -1,0 +1,1 @@
+lib/distributed/coordinator.ml: Array Dcs_graph Dcs_mincut Dcs_sketch Dcs_util List Partition

@@ -1,0 +1,1 @@
+lib/distributed/coordinator.mli: Dcs_graph Dcs_util

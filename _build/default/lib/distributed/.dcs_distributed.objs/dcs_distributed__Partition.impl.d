@@ -1,0 +1,1 @@
+lib/distributed/partition.ml: Array Dcs_graph Dcs_util

@@ -1,0 +1,1 @@
+lib/distributed/partition.mli: Dcs_graph Dcs_util

@@ -1,0 +1,112 @@
+module Ugraph = Dcs_graph.Ugraph
+module Cut = Dcs_graph.Cut
+module Sketch = Dcs_sketch.Sketch
+module Prng = Dcs_util.Prng
+
+type config = {
+  eps : float;
+  eps_coarse : float;
+  karger_trials : int;
+  candidate_factor : float;
+}
+
+(* The paper uses (1 ± 0.2) coarse sketches; at laptop scale the ln n/ε²
+   oversampling of Benczúr–Karger only drops below 1 for very dense graphs,
+   so the default coarse accuracy is 0.5 (with a correspondingly wider
+   candidate factor). EXPERIMENTS.md discusses the regime. *)
+let default_config ~eps =
+  { eps; eps_coarse = 0.5; karger_trials = 200; candidate_factor = 2.0 }
+
+type result = {
+  estimate : float;
+  coarse_estimate : float;
+  cut : Dcs_graph.Cut.t;
+  candidates : int;
+  forall_bits : int;
+  foreach_bits : int;
+  total_bits : int;
+  naive_bits : int;
+  fullacc_forall_bits : int;
+}
+
+let min_cut rng cfg shards =
+  if Array.length shards = 0 then invalid_arg "Coordinator.min_cut: no shards";
+  let n = Ugraph.n shards.(0) in
+  (* Server side: each shard produces its two sketches. A shard may be
+     disconnected or even empty — the samplers handle that (strength
+     indices are per-component). *)
+  let coarse =
+    Array.map
+      (fun shard ->
+        if Ugraph.m shard = 0 then (shard, Sketch.ugraph_encoding_bits shard)
+        else begin
+          let h = Dcs_sketch.Benczur_karger.sparsify rng ~eps:cfg.eps_coarse shard in
+          (h, Sketch.ugraph_encoding_bits h)
+        end)
+      shards
+  in
+  let fine =
+    Array.map
+      (fun shard ->
+        if Ugraph.m shard = 0 then (shard, Sketch.ugraph_encoding_bits shard)
+        else begin
+          let h = Dcs_sketch.Foreach_sampler.sparsify rng ~eps:cfg.eps shard in
+          (h, Sketch.ugraph_encoding_bits h)
+        end)
+      shards
+  in
+  (* Coordinator side: merge the coarse sparsifiers and enumerate
+     near-minimum candidate cuts by repeated contraction. *)
+  let merged = Partition.union n (Array.map fst coarse) in
+  let candidates =
+    Dcs_mincut.Karger.candidate_cuts rng ~trials:cfg.karger_trials
+      ~factor:cfg.candidate_factor merged
+  in
+  let coarse_estimate =
+    match candidates with [] -> infinity | (v, _) :: _ -> v
+  in
+  (* Refine every candidate with the for-each sketches: the estimate of a
+     cut is the sum of the shards' estimates because edges are disjoint. *)
+  let score cut =
+    Array.fold_left (fun acc (h, _) -> acc +. Ugraph.cut_value h cut) 0.0 fine
+  in
+  let best =
+    List.fold_left
+      (fun acc (_, cut) ->
+        let v = score cut in
+        match acc with
+        | Some (bv, _) when bv <= v -> acc
+        | _ -> Some (v, cut))
+      None candidates
+  in
+  let estimate, cut =
+    match best with
+    | Some (v, c) -> (v, c)
+    | None -> invalid_arg "Coordinator.min_cut: no candidate cuts (empty graph?)"
+  in
+  let forall_bits = Array.fold_left (fun acc (_, b) -> acc + b) 0 coarse in
+  let foreach_bits = Array.fold_left (fun acc (_, b) -> acc + b) 0 fine in
+  let naive_bits =
+    Array.fold_left (fun acc s -> acc + Sketch.ugraph_encoding_bits s) 0 shards
+  in
+  let fullacc_forall_bits =
+    Array.fold_left
+      (fun acc shard ->
+        if Ugraph.m shard = 0 then acc + Sketch.ugraph_encoding_bits shard
+        else begin
+          let h = Dcs_sketch.Benczur_karger.sparsify rng ~eps:cfg.eps shard in
+          acc + Sketch.ugraph_encoding_bits h
+        end)
+      0 shards
+  in
+  {
+    estimate;
+    coarse_estimate;
+    cut;
+    candidates = List.length candidates;
+    forall_bits;
+    foreach_bits;
+    total_bits = forall_bits + foreach_bits;
+    naive_bits;
+    fullacc_forall_bits;
+  }

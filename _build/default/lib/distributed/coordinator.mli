@@ -1,0 +1,38 @@
+(** The ACK+16 distributed min-cut pipeline the paper's introduction
+    describes: each server sends (a) a constant-accuracy for-all sketch and
+    (b) a (1 ± ε) for-each sketch of its edge shard; the coordinator merges
+    the coarse sparsifiers to find all O(1)-approximate minimum cuts (at
+    most poly(n) of them, located by repeated contraction) and then scores
+    each candidate by summing the servers' for-each estimates — paying the
+    ε-dependent communication only once per server at for-each rates.
+
+    The baselines quantify the trade-off: shipping raw edges, or shipping
+    full-accuracy for-all sketches. All message sizes are metered in bits
+    by the sketches' canonical encodings. *)
+
+type config = {
+  eps : float;            (** target accuracy of the final estimate *)
+  eps_coarse : float;     (** accuracy of the for-all sketches (paper: 0.2;
+                              default 0.5 at laptop scale) *)
+  karger_trials : int;    (** contraction runs for candidate enumeration *)
+  candidate_factor : float;  (** keep cuts within this factor of the best *)
+}
+
+val default_config : eps:float -> config
+
+type result = {
+  estimate : float;               (** refined min-cut estimate *)
+  coarse_estimate : float;        (** best candidate value on the merged sparsifier *)
+  cut : Dcs_graph.Cut.t;          (** the winning candidate *)
+  candidates : int;               (** candidate cuts scored *)
+  forall_bits : int;              (** Σ coarse sketch sizes *)
+  foreach_bits : int;             (** Σ for-each sketch sizes *)
+  total_bits : int;
+  naive_bits : int;               (** shipping every shard verbatim *)
+  fullacc_forall_bits : int;      (** shipping (1±ε) for-all sketches instead *)
+}
+
+val min_cut :
+  Dcs_util.Prng.t -> config -> Dcs_graph.Ugraph.t array -> result
+(** Runs the full pipeline over the shards. Requires the merged graph to be
+    connected with at least 2 vertices. *)

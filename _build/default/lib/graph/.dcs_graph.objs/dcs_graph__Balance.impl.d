@@ -1,0 +1,1 @@
+lib/graph/balance.ml: Cut Digraph Float List

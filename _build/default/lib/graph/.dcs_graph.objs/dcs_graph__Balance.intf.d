@@ -1,0 +1,1 @@
+lib/graph/balance.mli: Cut Dcs_util Digraph

@@ -1,0 +1,1 @@
+lib/graph/cut.ml: Array Dcs_util Digraph Format List

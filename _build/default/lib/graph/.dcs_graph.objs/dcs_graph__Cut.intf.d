@@ -1,0 +1,1 @@
+lib/graph/cut.mli: Dcs_util Digraph Format

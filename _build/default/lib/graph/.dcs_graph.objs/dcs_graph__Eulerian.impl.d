@@ -1,0 +1,1 @@
+lib/graph/eulerian.ml: Array Dcs_util Digraph Float

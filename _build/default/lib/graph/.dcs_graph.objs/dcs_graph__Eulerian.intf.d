@@ -1,0 +1,1 @@
+lib/graph/eulerian.mli: Dcs_util Digraph

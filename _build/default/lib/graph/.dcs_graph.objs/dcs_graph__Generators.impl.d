@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Dcs_util Digraph Hashtbl Ugraph

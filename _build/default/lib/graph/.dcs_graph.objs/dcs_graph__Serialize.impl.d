@@ -1,0 +1,1 @@
+lib/graph/serialize.ml: Buffer Digraph List Printf Scanf Ugraph

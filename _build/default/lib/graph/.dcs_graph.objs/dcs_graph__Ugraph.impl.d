@@ -1,0 +1,1 @@
+lib/graph/ugraph.ml: Array Cut Digraph Format Hashtbl List Option Printf

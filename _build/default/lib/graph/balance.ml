@@ -1,0 +1,53 @@
+let of_cut g c =
+  let fwd = Cut.value g c and bwd = Cut.value_rev g c in
+  if bwd > 0.0 then fwd /. bwd else if fwd > 0.0 then infinity else 1.0
+
+let exact g =
+  let nv = Digraph.n g in
+  if nv > 24 then invalid_arg "Balance.exact: graph too large (n > 24)";
+  if nv < 2 then 1.0
+  else begin
+    (* Fix vertex 0 on the S side; the complementary cut is covered because
+       we take the max of both directions for each enumerated S. *)
+    let best = ref 0.0 in
+    let limit = 1 lsl (nv - 1) in
+    (* mask = limit - 1 would be the full vertex set; stop short of it. *)
+    for mask = 0 to limit - 2 do
+      let mem v = v = 0 || (mask lsr (v - 1)) land 1 = 1 in
+      let c = Cut.of_mem ~n:nv mem in
+      let fwd = Cut.value g c and bwd = Cut.value_rev g c in
+      let ratio a b = if b > 0.0 then a /. b else if a > 0.0 then infinity else 1.0 in
+      best := Float.max !best (Float.max (ratio fwd bwd) (ratio bwd fwd))
+    done;
+    if !best = 0.0 then 1.0 else !best
+  end
+
+let edgewise_upper_bound g =
+  Digraph.fold_edges
+    (fun u v w acc ->
+      let rev = Digraph.weight g v u in
+      let r = if rev > 0.0 then w /. rev else infinity in
+      Float.max acc r)
+    g 0.0
+
+let sampled_lower_bound rng ~trials g =
+  let nv = Digraph.n g in
+  if nv < 2 then 1.0
+  else begin
+    let best = ref 0.0 in
+    let consider c = best := Float.max !best (of_cut g c) in
+    for v = 0 to nv - 1 do
+      let s = Cut.singleton ~n:nv v in
+      consider s;
+      consider (Cut.complement s)
+    done;
+    for _ = 1 to trials do
+      consider (Cut.random rng ~n:nv)
+    done;
+    !best
+  end
+
+let is_balanced g ~beta ~cuts =
+  List.for_all
+    (fun c -> Cut.value g c <= (beta *. Cut.value_rev g c) +. 1e-9)
+    cuts

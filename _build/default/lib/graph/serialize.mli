@@ -1,0 +1,20 @@
+(** Plain-text graph (de)serialization.
+
+    Format — one header line with the vertex count, then one edge per line:
+    {v
+    <n>
+    <u> <v> <w>
+    ...
+    v}
+    Weights round-trip exactly (printed with 17 significant digits). Used
+    by the [dcut] CLI and handy for fixtures. *)
+
+val ugraph_to_string : Ugraph.t -> string
+val ugraph_of_string : string -> Ugraph.t
+val digraph_to_string : Digraph.t -> string
+val digraph_of_string : string -> Digraph.t
+
+val output_ugraph : out_channel -> Ugraph.t -> unit
+val input_ugraph : in_channel -> Ugraph.t
+val output_digraph : out_channel -> Digraph.t -> unit
+val input_digraph : in_channel -> Digraph.t

@@ -1,0 +1,87 @@
+let bfs_generic ~n ~iter_next src =
+  let dist = Array.make n (-1) in
+  if n > 0 then begin
+    let queue = Queue.create () in
+    dist.(src) <- 0;
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      iter_next u (fun v ->
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v queue
+          end)
+    done
+  end;
+  dist
+
+let bfs_digraph g src =
+  bfs_generic ~n:(Digraph.n g)
+    ~iter_next:(fun u k -> Digraph.iter_out g u (fun v _ -> k v))
+    src
+
+let bfs_ugraph g src =
+  bfs_generic ~n:(Ugraph.n g)
+    ~iter_next:(fun u k -> Ugraph.iter_neighbors g u (fun v _ -> k v))
+    src
+
+let connected_components g =
+  let n = Ugraph.n g in
+  let comp = Array.make n (-1) in
+  let next_id = ref 0 in
+  for s = 0 to n - 1 do
+    if comp.(s) < 0 then begin
+      let id = !next_id in
+      incr next_id;
+      let queue = Queue.create () in
+      comp.(s) <- id;
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Ugraph.iter_neighbors g u (fun v _ ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  comp
+
+let component_count g =
+  let comp = connected_components g in
+  Array.fold_left max (-1) comp + 1
+
+let is_connected g = Ugraph.n g <= 1 || component_count g = 1
+
+let is_strongly_connected g =
+  let n = Digraph.n g in
+  n <= 1
+  ||
+  let fwd = bfs_digraph g 0 in
+  Array.for_all (fun d -> d >= 0) fwd
+  &&
+  let bwd = bfs_digraph (Digraph.reverse g) 0 in
+  Array.for_all (fun d -> d >= 0) bwd
+
+let spanning_forest g =
+  let n = Ugraph.n g in
+  let seen = Array.make n false in
+  let out = ref [] in
+  for s = 0 to n - 1 do
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      let queue = Queue.create () in
+      Queue.add s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Ugraph.iter_neighbors g u (fun v _ ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              out := (u, v) :: !out;
+              Queue.add v queue
+            end)
+      done
+    end
+  done;
+  !out

@@ -1,0 +1,53 @@
+(** Weighted undirected graphs on vertices 0..n-1.
+
+    Used by the Section 5 machinery (local-query min-cut is posed for
+    undirected graphs) and by the undirected sparsifiers. Parallel edges
+    merge by weight accumulation. *)
+
+type t
+
+val create : int -> t
+val n : t -> int
+val m : t -> int
+(** Number of distinct undirected edges. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** Accumulates; requires [u <> v] and [w >= 0]. *)
+
+val set_edge : t -> int -> int -> float -> unit
+val weight : t -> int -> int -> float
+val mem_edge : t -> int -> int -> bool
+
+val iter_neighbors : t -> int -> (int -> float -> unit) -> unit
+val degree : t -> int -> int
+(** Number of distinct neighbors. *)
+
+val weighted_degree : t -> int -> float
+
+val iter_edges : t -> (int -> int -> float -> unit) -> unit
+(** Each undirected edge visited once, with u < v. *)
+
+val fold_edges : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+val edges : t -> (int * int * float) list
+val total_weight : t -> float
+val of_edges : int -> (int * int * float) list -> t
+val copy : t -> t
+
+val cut_weight : t -> (int -> bool) -> float
+(** Total weight of edges with exactly one endpoint in S. *)
+
+val cut_value : t -> Cut.t -> float
+
+val to_digraph : t -> Digraph.t
+(** Symmetric digraph with both orientations at the undirected weight (so
+    directed cut values coincide with undirected ones). *)
+
+val of_digraph : Digraph.t -> t
+(** Undirected projection: weight(u,v) + weight(v,u) per unordered pair. *)
+
+val neighbor_array : t -> int -> int array
+(** Distinct neighbors of a vertex in increasing order. Used by the local
+    query oracle to expose a stable "i-th neighbor" numbering. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/linalg/decode_matrix.ml: Array Hadamard Pm_vector

@@ -1,0 +1,1 @@
+lib/linalg/decode_matrix.mli: Pm_vector

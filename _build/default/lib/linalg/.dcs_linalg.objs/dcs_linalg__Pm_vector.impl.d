@@ -1,0 +1,1 @@
+lib/linalg/pm_vector.ml: Array Dcs_util

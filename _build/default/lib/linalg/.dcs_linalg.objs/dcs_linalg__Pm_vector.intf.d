@@ -1,0 +1,1 @@
+lib/linalg/pm_vector.mli: Dcs_util

@@ -1,0 +1,54 @@
+type t = { h : Hadamard.t; q : int }
+
+let create ~k =
+  if k < 1 then invalid_arg "Decode_matrix.create: k >= 1 required";
+  let h = Hadamard.create k in
+  { h; q = Hadamard.order h }
+
+let q t = t.q
+let rows t = (t.q - 1) * (t.q - 1)
+let cols t = t.q * t.q
+let row_norm_sq t = t.q * t.q
+
+(* Row index t <-> Hadamard row pair (i, j), both ranging over 1..q-1
+   (0-based; row 0 is the all-ones row and is excluded). *)
+let factors_index t idx =
+  if idx < 0 || idx >= rows t then invalid_arg "Decode_matrix: row index";
+  let side = t.q - 1 in
+  (1 + (idx / side), 1 + (idx mod side))
+
+let row_factors t idx =
+  let i, j = factors_index t idx in
+  (Hadamard.row t.h i, Hadamard.row t.h j)
+
+let row t idx =
+  let u, v = row_factors t idx in
+  Pm_vector.tensor u v
+
+let superpose t z =
+  if Array.length z <> rows t then invalid_arg "Decode_matrix.superpose: length";
+  let q = t.q in
+  let zm = Array.make_matrix q q 0.0 in
+  Array.iteri
+    (fun idx zt ->
+      if zt <> 1 && zt <> -1 then invalid_arg "Decode_matrix.superpose: entries";
+      let i, j = factors_index t idx in
+      zm.(i).(j) <- float_of_int zt)
+    z;
+  let x = Hadamard.transform2 t.h zm in
+  Array.init (q * q) (fun c -> x.(c / q).(c mod q))
+
+let correlate t w idx =
+  if Array.length w <> cols t then invalid_arg "Decode_matrix.correlate: length";
+  let q = t.q in
+  let i, j = factors_index t idx in
+  let acc = ref 0.0 in
+  for a = 0 to q - 1 do
+    let hia = Hadamard.entry t.h i a in
+    let base = a * q in
+    for b = 0 to q - 1 do
+      let s = hia * Hadamard.entry t.h j b in
+      acc := !acc +. (float_of_int s *. w.(base + b))
+    done
+  done;
+  !acc

@@ -1,0 +1,44 @@
+(** The decode matrix of Lemma 3.2.
+
+    For q = 2^k, [M] is a ((q-1)^2) × q^2 matrix over {-1, +1} whose rows are
+    H_i ⊗ H_j for all 2 <= i, j <= q (1-based; i.e. every pair of non-constant
+    Hadamard rows). The lemma's three properties hold by construction:
+
+    1. every row sums to zero;
+    2. rows are pairwise orthogonal (with squared norm q^2);
+    3. every row is a tensor product u ⊗ v of two balanced ±1 vectors.
+
+    The matrix is never materialized: rows are generated on demand and the
+    superposition x = Σ_t z_t · M_t is computed with two fast Walsh–Hadamard
+    transforms in O(q^2 log q). *)
+
+type t
+
+val create : k:int -> t
+(** [create ~k] for q = 2^k; requires [k >= 1] (q >= 2, at least one row). *)
+
+val q : t -> int
+(** Side length, 2^k (the paper's 1/ε). *)
+
+val rows : t -> int
+(** (q-1)^2. *)
+
+val cols : t -> int
+(** q^2. *)
+
+val row_norm_sq : t -> int
+(** ‖M_t‖² = q², same for every row. *)
+
+val row_factors : t -> int -> Pm_vector.t * Pm_vector.t
+(** [row_factors m t] = (u, v) with M_t = u ⊗ v, both balanced. *)
+
+val row : t -> int -> Pm_vector.t
+(** Materialized row, length q². *)
+
+val superpose : t -> int array -> float array
+(** [superpose m z] with [z] in {-1,+1}^(rows m) returns
+    x = Σ_t z_t · M_t ∈ R^{q²}. O(q² log q). *)
+
+val correlate : t -> float array -> int -> float
+(** [correlate m w t] = ⟨w, M_t⟩ for a real vector w of length q². O(q²).
+    By orthogonality, [correlate m (superpose m z) t = z_t * q²]. *)

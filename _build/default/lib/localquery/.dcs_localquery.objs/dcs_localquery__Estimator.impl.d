@@ -1,0 +1,1 @@
+lib/localquery/estimator.ml: Array Dcs_util Float Oracle Verify_guess

@@ -1,0 +1,1 @@
+lib/localquery/estimator.mli: Dcs_util Oracle

@@ -1,0 +1,1 @@
+lib/localquery/gxy.ml: Array Dcs_comm Dcs_graph Float

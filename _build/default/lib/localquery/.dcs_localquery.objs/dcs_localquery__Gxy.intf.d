@@ -1,0 +1,1 @@
+lib/localquery/gxy.mli: Dcs_comm Dcs_graph

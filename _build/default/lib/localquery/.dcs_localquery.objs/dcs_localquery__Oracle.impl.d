@@ -1,0 +1,1 @@
+lib/localquery/oracle.ml: Array Dcs_graph Hashtbl

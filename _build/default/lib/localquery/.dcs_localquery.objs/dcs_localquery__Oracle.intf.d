@@ -1,0 +1,1 @@
+lib/localquery/oracle.mli: Dcs_graph

@@ -1,0 +1,1 @@
+lib/localquery/reduction.ml: Dcs_comm Estimator Float Gxy Oracle

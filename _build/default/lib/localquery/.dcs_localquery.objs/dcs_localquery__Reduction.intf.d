@@ -1,0 +1,1 @@
+lib/localquery/reduction.mli: Dcs_comm Dcs_util

@@ -1,0 +1,1 @@
+lib/localquery/verify_guess.ml: Array Dcs_graph Dcs_mincut Dcs_util Float Oracle

@@ -1,0 +1,1 @@
+lib/localquery/verify_guess.mli: Dcs_util Oracle

@@ -1,0 +1,83 @@
+module Ugraph = Dcs_graph.Ugraph
+
+type t = {
+  graph : Ugraph.t;
+  neighbors : int array array;  (* sorted adjacency, fixes the i-th ordering *)
+  memoize : bool;
+  seen_degree : (int * int, unit) Hashtbl.t;
+  seen_edge : (int * int, unit) Hashtbl.t;
+  seen_adj : (int * int, unit) Hashtbl.t;
+  mutable degree_q : int;
+  mutable edge_q : int;
+  mutable adj_q : int;
+}
+
+let create ?(memoize = false) g =
+  {
+    graph = g;
+    neighbors = Array.init (Ugraph.n g) (fun u -> Ugraph.neighbor_array g u);
+    memoize;
+    seen_degree = Hashtbl.create 64;
+    seen_edge = Hashtbl.create 256;
+    seen_adj = Hashtbl.create 64;
+    degree_q = 0;
+    edge_q = 0;
+    adj_q = 0;
+  }
+
+(* Under memoization a repeated query is answered from the algorithm's own
+   notes and costs nothing; only first-time queries hit the meter. *)
+let pay_once t table key bump =
+  if t.memoize then begin
+    if not (Hashtbl.mem table key) then begin
+      Hashtbl.replace table key ();
+      bump ()
+    end
+  end
+  else bump ()
+
+let n t = Ugraph.n t.graph
+
+let check_vertex t u =
+  if u < 0 || u >= n t then invalid_arg "Oracle: vertex out of range"
+
+let degree t u =
+  check_vertex t u;
+  pay_once t t.seen_degree (u, u) (fun () -> t.degree_q <- t.degree_q + 1);
+  Array.length t.neighbors.(u)
+
+let ith_neighbor t u i =
+  check_vertex t u;
+  if i < 0 then invalid_arg "Oracle.ith_neighbor: negative index";
+  pay_once t t.seen_edge (u, i) (fun () -> t.edge_q <- t.edge_q + 1);
+  if i < Array.length t.neighbors.(u) then Some t.neighbors.(u).(i) else None
+
+let adjacent t u v =
+  check_vertex t u;
+  check_vertex t v;
+  let key = if u < v then (u, v) else (v, u) in
+  pay_once t t.seen_adj key (fun () -> t.adj_q <- t.adj_q + 1);
+  Ugraph.mem_edge t.graph u v
+
+type stats = {
+  degree_queries : int;
+  edge_queries : int;
+  adjacency_queries : int;
+}
+
+let stats t =
+  { degree_queries = t.degree_q; edge_queries = t.edge_q; adjacency_queries = t.adj_q }
+
+let total_queries t = t.degree_q + t.edge_q + t.adj_q
+
+let comm_bits t = 2 * (t.edge_q + t.adj_q)
+
+let reset t =
+  t.degree_q <- 0;
+  t.edge_q <- 0;
+  t.adj_q <- 0;
+  Hashtbl.reset t.seen_degree;
+  Hashtbl.reset t.seen_edge;
+  Hashtbl.reset t.seen_adj
+
+let edge_count t = Ugraph.m t.graph

@@ -1,0 +1,52 @@
+(** The local query model of Section 5 (RSW18/ER18/BGMP21).
+
+    The vertex set is known; the edge set is accessible only through three
+    query types, each metered:
+
+    - degree query: degree of a vertex;
+    - edge (neighbor) query: the i-th neighbor of a vertex, or ⊥ when i
+      exceeds its degree (the i-th neighbor ordering is fixed: increasing
+      vertex id);
+    - adjacency (pair) query: whether (u, v) is an edge.
+
+    Besides raw query counts, the oracle tracks the communication cost of
+    the Lemma 5.6 simulation: when the graph is a G_{x,y} construction
+    split between Alice and Bob, a degree query costs 0 bits (all degrees
+    are known to be √N) and edge/adjacency queries cost 2 bits each. *)
+
+type t
+
+val create : ?memoize:bool -> Dcs_graph.Ugraph.t -> t
+(** Weights are ignored; the oracle exposes the simple unweighted graph.
+    With [memoize] (default false) a repeated identical query is free:
+    this models an algorithm that remembers answers, and enforces the
+    min\{m, ·\} ceiling of Theorem 1.3 (no algorithm needs to pay more
+    than reading the whole graph). *)
+
+val n : t -> int
+
+val degree : t -> int -> int
+
+val ith_neighbor : t -> int -> int -> int option
+(** [ith_neighbor o u i] with 0-based [i]; [None] when [i >= degree u].
+    Counts as one edge query either way. *)
+
+val adjacent : t -> int -> int -> bool
+
+type stats = {
+  degree_queries : int;
+  edge_queries : int;
+  adjacency_queries : int;
+}
+
+val stats : t -> stats
+
+val total_queries : t -> int
+
+val comm_bits : t -> int
+(** 2·(edge + adjacency queries): the Lemma 5.6 accounting. *)
+
+val reset : t -> unit
+
+val edge_count : t -> int
+(** m, for experiment bookkeeping — not a query (does not touch meters). *)

@@ -1,0 +1,35 @@
+module Two_sum = Dcs_comm.Two_sum
+module Bitstring = Dcs_comm.Bitstring
+
+type result = {
+  answer : float;
+  truth : int;
+  additive_error : float;
+  mincut_estimate : float;
+  queries : int;
+  comm_bits : int;
+}
+
+let solve_two_sum ?c0 rng inst ~eps =
+  let x, y = Two_sum.concat_pair inst in
+  let n_bits = Bitstring.length x in
+  let l = Gxy.side ~n:n_bits in
+  let int_xy = Bitstring.intersection_size x y in
+  if l < 3 * int_xy then
+    invalid_arg "Reduction.solve_two_sum: Lemma 5.5 hypothesis violated";
+  let g = Gxy.build ~x ~y in
+  let oracle = Oracle.create ~memoize:true g in
+  let r = Estimator.estimate ?c0 rng oracle ~eps ~mode:Estimator.Modified in
+  let alpha = float_of_int inst.Two_sum.alpha in
+  let answer =
+    float_of_int inst.Two_sum.t -. (r.Estimator.estimate /. (2.0 *. alpha))
+  in
+  let truth = Two_sum.disj_sum inst in
+  {
+    answer;
+    truth;
+    additive_error = Float.abs (answer -. float_of_int truth);
+    mincut_estimate = r.Estimator.estimate;
+    queries = r.Estimator.total_queries;
+    comm_bits = r.Estimator.comm_bits;
+  }

@@ -1,0 +1,29 @@
+(** The Lemma 5.6 reduction, end to end: solving promise 2-SUM with a
+    min-cut query algorithm.
+
+    Given a 2-SUM(t, L, α) instance, build G_{x,y} from the concatenated
+    strings, run a (1 ± ε) min-cut estimator against the local-query
+    oracle, and output 1/ε² - MINCUT/(2α) ≈ Σ DISJ(Xⁱ, Yⁱ). Every oracle
+    query is charged the 2 bits of Alice/Bob communication the lemma
+    assigns it, so the result carries the full communication accounting
+    that turns a fast estimator into a cheap 2-SUM protocol — the engine of
+    Theorem 1.3. *)
+
+type result = {
+  answer : float;           (** estimate of Σ DISJ *)
+  truth : int;
+  additive_error : float;
+  mincut_estimate : float;
+  queries : int;
+  comm_bits : int;
+}
+
+val solve_two_sum :
+  ?c0:float ->
+  Dcs_util.Prng.t ->
+  Dcs_comm.Two_sum.instance ->
+  eps:float ->
+  result
+(** Requires the concatenated length t·L to be a perfect square and the
+    instance to satisfy the Lemma 5.5 hypothesis √N >= 3·Σ INT (checked).
+    [c0] is passed through to VERIFY-GUESS. *)

@@ -1,0 +1,1 @@
+lib/lower/forall_lb.ml: Array Dcs_comm Dcs_graph Dcs_sketch Dcs_util Layout Printf

@@ -1,0 +1,1 @@
+lib/lower/forall_lb.mli: Dcs_comm Dcs_graph Dcs_sketch Dcs_util Layout

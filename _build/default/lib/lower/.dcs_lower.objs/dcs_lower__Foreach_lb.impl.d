@@ -1,0 +1,1 @@
+lib/lower/foreach_lb.ml: Array Dcs_graph Dcs_linalg Dcs_sketch Dcs_util Float Layout Printf

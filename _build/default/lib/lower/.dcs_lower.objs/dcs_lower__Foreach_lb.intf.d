@@ -1,0 +1,1 @@
+lib/lower/foreach_lb.mli: Dcs_graph Dcs_sketch Dcs_util Layout

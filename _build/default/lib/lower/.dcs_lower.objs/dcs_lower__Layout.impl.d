@@ -1,0 +1,1 @@
+lib/lower/layout.ml: Dcs_graph

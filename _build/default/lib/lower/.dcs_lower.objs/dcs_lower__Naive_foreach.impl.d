@@ -1,0 +1,1 @@
+lib/lower/naive_foreach.ml: Array Dcs_graph Dcs_sketch Dcs_util Float Layout

@@ -1,0 +1,1 @@
+lib/lower/naive_foreach.mli: Dcs_graph Dcs_sketch Dcs_util Layout

@@ -1,0 +1,40 @@
+module Digraph = Dcs_graph.Digraph
+
+type t = { n : int; block : int; chains : int }
+
+let create ~n ~block =
+  if block < 1 then invalid_arg "Layout.create: block >= 1";
+  if n <= 0 || n mod block <> 0 then
+    invalid_arg "Layout.create: n must be a positive multiple of block";
+  let chains = n / block in
+  if chains < 2 then invalid_arg "Layout.create: need at least two blocks";
+  { n; block; chains }
+
+let block_of_vertex t v =
+  if v < 0 || v >= t.n then invalid_arg "Layout.block_of_vertex";
+  v / t.block
+
+let block_start t c =
+  if c < 0 || c >= t.chains then invalid_arg "Layout.block_start";
+  c * t.block
+
+let vertex t ~chain ~offset =
+  if offset < 0 || offset >= t.block then invalid_arg "Layout.vertex: offset";
+  block_start t chain + offset
+
+let add_backward_edges t ~weight g =
+  for p = 0 to t.chains - 2 do
+    for right = 0 to t.block - 1 do
+      for left = 0 to t.block - 1 do
+        Digraph.add_edge g
+          (vertex t ~chain:(p + 1) ~offset:right)
+          (vertex t ~chain:p ~offset:left)
+          weight
+      done
+    done
+  done
+
+let backward_skeleton t ~weight =
+  let g = Digraph.create t.n in
+  add_backward_edges t ~weight g;
+  g

@@ -1,0 +1,29 @@
+(** Chain-of-blocks vertex layout shared by both lower-bound constructions.
+
+    Both Theorem 1.1 and Theorem 1.2 partition the n vertices into
+    ℓ = n/k consecutive blocks V_0..V_{ℓ-1} of k vertices and encode an
+    independent sub-instance into the complete bipartite graph between each
+    consecutive pair (V_p, V_{p+1}); every backward edge (right to left
+    within a pair) has the fixed weight 1/β. This module owns the vertex
+    numbering and the instance-independent backward skeleton. *)
+
+type t = { n : int; block : int; chains : int }
+
+val create : n:int -> block:int -> t
+(** Requires block >= 1, n a positive multiple of block, and at least two
+    blocks. *)
+
+val block_of_vertex : t -> int -> int
+val block_start : t -> int -> int
+
+val vertex : t -> chain:int -> offset:int -> int
+(** Vertex id of the [offset]-th node of block [chain]. *)
+
+val backward_skeleton : t -> weight:float -> Dcs_graph.Digraph.t
+(** The graph holding only the backward edges: for every consecutive pair,
+    every right vertex points to every left vertex with [weight]. Used by
+    tests to validate the decoders' closed-form backward-weight
+    subtraction. *)
+
+val add_backward_edges : t -> weight:float -> Dcs_graph.Digraph.t -> unit
+(** Install the backward skeleton into an existing graph. *)

@@ -1,0 +1,73 @@
+(** The "simple encoding method" the paper's Section 1.2 rules out, built
+    so the failure is measurable.
+
+    Each bit is encoded into a single forward edge (weight 1 or 2, as in
+    ACK+16/CCPS21); every backward edge has weight 1/β. To decode bit
+    (u, v), Bob queries the one cut S = {u} ∪ (V_{p+1} \ {v}) ∪ rest and
+    subtracts the fixed weights of everything except the (u, v) edge. The
+    problem the paper points out: that cut carries Θ(β/ε²)·(1/β) = Θ(1/ε²)
+    of backward mass plus Θ(k) of other forward edges, so a (1 ± ε') sketch
+    answers with Θ(ε'/ε²) additive error while the signal is Θ(1) — the
+    naive scheme needs accuracy ~ ε², whereas the Hadamard superposition of
+    Section 3 survives down to ~ ε/ln(1/ε).
+
+    The chain layout matches {!Foreach_lb} (blocks of k = √β/ε vertices) so
+    the two schemes are compared on identically-shaped graphs. *)
+
+type params = {
+  n : int;
+  beta : int;     (** perfect square *)
+  inv_eps : int;  (** 1/ε, power of two >= 2 *)
+}
+
+val make_params : beta:int -> inv_eps:int -> int -> params
+val block_size : params -> int
+val layout : params -> Layout.t
+
+val bits_capacity : params -> int
+(** One bit per forward edge: (ℓ-1)·k² — note this is *more* raw bits than
+    the Section 3 construction stores; the lower bound is about what can be
+    *recovered through a (1±ε) sketch*, which is where this scheme fails. *)
+
+type instance = {
+  params : params;
+  s : bool array;
+  graph : Dcs_graph.Digraph.t;
+}
+
+val encode : params -> s:bool array -> instance
+val random_instance : Dcs_util.Prng.t -> params -> instance
+
+type address = { pair : int; u : int; v : int }
+(** Bit of the forward edge from the [u]-th node of V_pair to the [v]-th
+    node of V_{pair+1}. *)
+
+val address_of_index : params -> int -> address
+val index_of_address : params -> address -> int
+
+val decode_bit : params -> query:(Dcs_graph.Cut.t -> float) -> int -> bool
+(** One cut query; thresholds the de-biased estimate at 1.5. *)
+
+val query_cut : params -> address -> Dcs_graph.Cut.t
+
+val fixed_crossing_weight : params -> address -> float
+(** Everything crossing [query_cut] except the queried edge itself — all of
+    it backward mass of weight 1/β, instance-independent and Θ(1/ε²):
+    ((k-1)² + boundary terms)/β. With an exact oracle the decode is
+    perfect; with a (1±ε') oracle the error ε'/ε² drowns the ±1/2 signal
+    once ε' ≳ ε². *)
+
+type trial_stats = {
+  trials : int;
+  bits_tested : int;
+  correct : int;
+  success_rate : float;
+}
+
+val run_trials :
+  Dcs_util.Prng.t ->
+  params ->
+  sketch_of:(Dcs_util.Prng.t -> instance -> Dcs_sketch.Sketch.t) ->
+  trials:int ->
+  bits_per_trial:int ->
+  trial_stats

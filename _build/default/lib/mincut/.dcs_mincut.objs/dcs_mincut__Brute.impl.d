@@ -1,0 +1,1 @@
+lib/mincut/brute.ml: Dcs_graph Float

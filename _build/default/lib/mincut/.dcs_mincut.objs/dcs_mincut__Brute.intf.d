@@ -1,0 +1,1 @@
+lib/mincut/brute.mli: Dcs_graph

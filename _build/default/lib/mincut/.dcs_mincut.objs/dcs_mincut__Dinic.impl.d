@@ -1,0 +1,1 @@
+lib/mincut/dinic.ml: Array Dcs_graph Float List Queue

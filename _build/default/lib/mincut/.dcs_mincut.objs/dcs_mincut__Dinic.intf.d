@@ -1,0 +1,1 @@
+lib/mincut/dinic.mli: Dcs_graph

@@ -1,0 +1,1 @@
+lib/mincut/gomory_hu.ml: Array Dcs_graph Dinic Hashtbl List

@@ -1,0 +1,1 @@
+lib/mincut/gomory_hu.mli: Dcs_graph

@@ -1,0 +1,1 @@
+lib/mincut/karger.ml: Array Dcs_graph Dcs_util Float Hashtbl List String

@@ -1,0 +1,1 @@
+lib/mincut/karger.mli: Dcs_graph Dcs_util

@@ -1,0 +1,1 @@
+lib/mincut/karger_stein.ml: Array Dcs_graph Dcs_util Float Hashtbl List

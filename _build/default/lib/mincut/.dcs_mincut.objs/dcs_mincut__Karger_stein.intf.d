@@ -1,0 +1,1 @@
+lib/mincut/karger_stein.mli: Dcs_graph Dcs_util

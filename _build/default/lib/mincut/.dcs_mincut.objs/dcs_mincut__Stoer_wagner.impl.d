@@ -1,0 +1,1 @@
+lib/mincut/stoer_wagner.ml: Array Dcs_graph

@@ -1,0 +1,1 @@
+lib/mincut/stoer_wagner.mli: Dcs_graph

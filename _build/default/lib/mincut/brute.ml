@@ -1,0 +1,31 @@
+module Cut = Dcs_graph.Cut
+
+let enumerate ~n value =
+  if n < 2 || n > 24 then invalid_arg "Brute.mincut: need 2 <= n <= 24";
+  let best = ref infinity in
+  let best_cut = ref None in
+  (* Vertex 0 pinned to S: covers every cut up to complement; the directed
+     caller evaluates both orientations explicitly. *)
+  for mask = 0 to (1 lsl (n - 1)) - 1 do
+    let mem v = v = 0 || (mask lsr (v - 1)) land 1 = 1 in
+    let c = Cut.of_mem ~n mem in
+    if Cut.is_proper c then begin
+      let v = value c in
+      if v < !best then begin
+        best := v;
+        best_cut := Some c
+      end
+    end
+  done;
+  match !best_cut with
+  | Some c -> (!best, c)
+  | None -> invalid_arg "Brute.mincut: no proper cut (n < 2?)"
+
+let mincut_ugraph g =
+  enumerate ~n:(Dcs_graph.Ugraph.n g) (fun c -> Dcs_graph.Ugraph.cut_value g c)
+
+let mincut_digraph g =
+  enumerate ~n:(Dcs_graph.Digraph.n g) (fun c ->
+      let fwd = Cut.value g c in
+      let bwd = Cut.value g (Cut.complement c) in
+      Float.min fwd bwd)

@@ -1,0 +1,7 @@
+(** Exhaustive minimum-cut oracles for small graphs (test ground truth). *)
+
+val mincut_ugraph : Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
+(** Enumerates all 2^(n-1) - 1 proper cuts; requires 2 <= n <= 24. *)
+
+val mincut_digraph : Dcs_graph.Digraph.t -> float * Dcs_graph.Cut.t
+(** Minimum over proper S of the directed value w(S, V\S); same size limit. *)

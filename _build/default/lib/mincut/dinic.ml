@@ -1,0 +1,147 @@
+module Digraph = Dcs_graph.Digraph
+module Ugraph = Dcs_graph.Ugraph
+module Cut = Dcs_graph.Cut
+
+(* Arc-array representation: arcs stored in pairs, arc i and its reverse
+   (i lxor 1). [cap] holds residual capacity. *)
+
+type t = {
+  n : int;
+  head : int array;          (* arc -> destination *)
+  next : int array;          (* arc -> next arc out of same tail *)
+  first : int array;         (* vertex -> first arc or -1 *)
+  cap : float array;         (* residual capacities, mutated by maxflow *)
+  cap0 : float array;        (* original capacities, for reset *)
+  level : int array;
+  iter : int array;
+}
+
+let eps = 1e-12
+
+let build n arcs =
+  let m = List.length arcs in
+  let head = Array.make (2 * m) 0 in
+  let next = Array.make (2 * m) (-1) in
+  let first = Array.make n (-1) in
+  let cap = Array.make (2 * m) 0.0 in
+  let idx = ref 0 in
+  List.iter
+    (fun (u, v, c) ->
+      let a = !idx and b = !idx + 1 in
+      idx := !idx + 2;
+      head.(a) <- v;
+      cap.(a) <- c;
+      next.(a) <- first.(u);
+      first.(u) <- a;
+      head.(b) <- u;
+      cap.(b) <- 0.0;
+      next.(b) <- first.(v);
+      first.(v) <- b)
+    arcs;
+  {
+    n;
+    head;
+    next;
+    first;
+    cap;
+    cap0 = Array.copy cap;
+    level = Array.make n (-1);
+    iter = Array.make n (-1);
+  }
+
+let of_digraph g =
+  let arcs = Digraph.fold_edges (fun u v w acc -> (u, v, w) :: acc) g [] in
+  build (Digraph.n g) arcs
+
+let of_ugraph g =
+  let arcs =
+    Ugraph.fold_edges (fun u v w acc -> (u, v, w) :: (v, u, w) :: acc) g []
+  in
+  build (Ugraph.n g) arcs
+
+let reset t = Array.blit t.cap0 0 t.cap 0 (Array.length t.cap)
+
+let bfs t s =
+  Array.fill t.level 0 t.n (-1);
+  let q = Queue.create () in
+  t.level.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let a = ref t.first.(u) in
+    while !a >= 0 do
+      let v = t.head.(!a) in
+      if t.cap.(!a) > eps && t.level.(v) < 0 then begin
+        t.level.(v) <- t.level.(u) + 1;
+        Queue.add v q
+      end;
+      a := t.next.(!a)
+    done
+  done
+
+let rec dfs t u sink pushed =
+  if u = sink then pushed
+  else begin
+    let result = ref 0.0 in
+    while !result = 0.0 && t.iter.(u) >= 0 do
+      let a = t.iter.(u) in
+      let v = t.head.(a) in
+      if t.cap.(a) > eps && t.level.(v) = t.level.(u) + 1 then begin
+        let d = dfs t v sink (Float.min pushed t.cap.(a)) in
+        if d > eps then begin
+          t.cap.(a) <- t.cap.(a) -. d;
+          t.cap.(a lxor 1) <- t.cap.(a lxor 1) +. d;
+          result := d
+        end
+        else t.iter.(u) <- t.next.(a)
+      end
+      else t.iter.(u) <- t.next.(a)
+    done;
+    !result
+  end
+
+let maxflow t ~s ~t:sink =
+  if s = sink then invalid_arg "Dinic.maxflow: s = t";
+  reset t;
+  let flow = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    bfs t s;
+    if t.level.(sink) < 0 then continue := false
+    else begin
+      Array.blit t.first 0 t.iter 0 t.n;
+      let rec augment () =
+        let f = dfs t s sink infinity in
+        if f > eps then begin
+          flow := !flow +. f;
+          augment ()
+        end
+      in
+      augment ()
+    end
+  done;
+  !flow
+
+let mincut_side t ~s ~t:sink =
+  let f = maxflow t ~s ~t:sink in
+  (* Vertices reachable from s in the residual graph. *)
+  bfs t s;
+  let side = Cut.of_mem ~n:t.n (fun v -> t.level.(v) >= 0) in
+  (f, side)
+
+let edge_connectivity g =
+  let n = Ugraph.n g in
+  if n < 2 then invalid_arg "Dinic.edge_connectivity: need >= 2 vertices";
+  let net = of_ugraph g in
+  let best = ref infinity in
+  for v = 1 to n - 1 do
+    best := Float.min !best (maxflow net ~s:0 ~t:v)
+  done;
+  !best
+
+let edge_disjoint_paths g ~s ~t:sink =
+  let arcs =
+    Ugraph.fold_edges (fun u v _ acc -> (u, v, 1.0) :: (v, u, 1.0) :: acc) g []
+  in
+  let net = build (Ugraph.n g) arcs in
+  int_of_float (Float.round (maxflow net ~s ~t:sink))

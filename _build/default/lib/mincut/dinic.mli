@@ -1,0 +1,31 @@
+(** Dinic's maximum-flow algorithm (float capacities).
+
+    Used for s–t minimum cuts, for certifying edge connectivity, and for the
+    2γ-edge-connectivity case checks of the paper's Figures 3–6 (Lemma 5.5's
+    proof enumerates pairs u, v and exhibits 2γ edge-disjoint paths; max-flow
+    certifies their existence). *)
+
+type t
+
+val of_digraph : Dcs_graph.Digraph.t -> t
+(** Capacities are the edge weights. *)
+
+val of_ugraph : Dcs_graph.Ugraph.t -> t
+(** Each undirected edge becomes a pair of opposite arcs of that capacity,
+    which models undirected flow exactly. *)
+
+val maxflow : t -> s:int -> t:int -> float
+(** Resets any previous flow before running. *)
+
+val mincut_side : t -> s:int -> t:int -> float * Dcs_graph.Cut.t
+(** Max-flow value together with the source side of a minimum s–t cut
+    (vertices reachable from [s] in the final residual network). *)
+
+val edge_connectivity : Dcs_graph.Ugraph.t -> float
+(** Global edge connectivity: min over t <> 0 of maxflow(0, t). Exact for
+    weighted undirected graphs; O(n) max-flow runs. Requires n >= 2 and a
+    connected graph to be meaningful (returns 0 when disconnected). *)
+
+val edge_disjoint_paths : Dcs_graph.Ugraph.t -> s:int -> t:int -> int
+(** Max number of edge-disjoint s-t paths in an unweighted view of the graph
+    (capacities clamped to 1). *)

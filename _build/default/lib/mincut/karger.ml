@@ -1,0 +1,99 @@
+module Ugraph = Dcs_graph.Ugraph
+module Cut = Dcs_graph.Cut
+module Prng = Dcs_util.Prng
+
+(* Union-find with path compression. *)
+module Uf = struct
+  type t = { parent : int array; rank : int array; mutable classes : int }
+
+  let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+  let rec find t x =
+    let p = t.parent.(x) in
+    if p = x then x
+    else begin
+      let r = find t p in
+      t.parent.(x) <- r;
+      r
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then begin
+      t.classes <- t.classes - 1;
+      if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+      else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+      else begin
+        t.parent.(rb) <- ra;
+        t.rank.(ra) <- t.rank.(ra) + 1
+      end
+    end
+end
+
+(* Weighted contraction via exponential clocks: give edge e an arrival time
+   Exp(w_e) = -ln(U)/w_e and contract edges in arrival order until two
+   super-vertices remain. The first-arrival process picks each next edge
+   with probability proportional to its weight among live edges, so this is
+   exactly weighted Karger contraction, in O(m log m) per run. *)
+let run_once rng g =
+  let n = Ugraph.n g in
+  if n < 2 then invalid_arg "Karger.run_once: need >= 2 vertices";
+  let edges = Array.of_list (Ugraph.edges g) in
+  if Array.length edges = 0 then
+    invalid_arg "Karger.run_once: graph disconnected (no edges)";
+  let clocked =
+    Array.map
+      (fun (u, v, w) ->
+        let u01 =
+          let rec nonzero () =
+            let x = Prng.float rng 1.0 in
+            if x = 0.0 then nonzero () else x
+          in
+          nonzero ()
+        in
+        (-.log u01 /. w, u, v))
+      edges
+  in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) clocked;
+  let uf = Uf.create n in
+  let i = ref 0 in
+  while uf.Uf.classes > 2 && !i < Array.length clocked do
+    let _, u, v = clocked.(!i) in
+    incr i;
+    Uf.union uf u v
+  done;
+  if uf.Uf.classes > 2 then
+    invalid_arg "Karger.run_once: graph disconnected (ran out of edges)";
+  let rep = Uf.find uf 0 in
+  let cut = Cut.of_mem ~n (fun v -> Uf.find uf v = rep) in
+  (Ugraph.cut_value g cut, cut)
+
+let mincut rng ~trials g =
+  if trials < 1 then invalid_arg "Karger.mincut: trials >= 1";
+  let best = ref (run_once rng g) in
+  for _ = 2 to trials do
+    let v, c = run_once rng g in
+    if v < fst !best then best := (v, c)
+  done;
+  !best
+
+(* Canonical key for a cut up to complementation: the side containing
+   vertex 0, rendered as its sorted vertex list. *)
+let cut_key c =
+  let c = if Cut.mem c 0 then c else Cut.complement c in
+  String.concat "," (List.map string_of_int (Cut.to_list c))
+
+let candidate_cuts rng ~trials ~factor g =
+  if factor < 1.0 then invalid_arg "Karger.candidate_cuts: factor >= 1";
+  let seen : (string, float * Cut.t) Hashtbl.t = Hashtbl.create 64 in
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let v, c = run_once rng g in
+    best := Float.min !best v;
+    let key = cut_key c in
+    if not (Hashtbl.mem seen key) then Hashtbl.add seen key (v, c)
+  done;
+  Hashtbl.fold
+    (fun _ (v, c) acc -> if v <= (factor *. !best) +. 1e-9 then (v, c) :: acc else acc)
+    seen []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

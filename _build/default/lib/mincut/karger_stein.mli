@@ -1,0 +1,15 @@
+(** Karger–Stein recursive contraction.
+
+    One recursive run succeeds with probability Ω(1/log n) (versus Ω(1/n²)
+    for plain contraction), so a handful of runs reliably finds the global
+    minimum cut. Used by the distributed coordinator when candidate
+    enumeration needs to be cheap on large merged sparsifiers, and as an
+    independent randomized check against Stoer–Wagner in the tests. *)
+
+val run_once : Dcs_util.Prng.t -> Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
+(** One recursive contraction; an upper bound on the minimum cut. Requires
+    a connected graph with n >= 2. *)
+
+val mincut :
+  ?runs:int -> Dcs_util.Prng.t -> Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
+(** Best of [runs] independent runs (default: ceil(log2 n)² + 1). *)

@@ -1,0 +1,13 @@
+(** Stoer–Wagner global minimum cut for weighted undirected graphs.
+
+    Deterministic, O(n^3) with the simple maximum-adjacency search used
+    here. Returns both the cut value and a witness side. This is the exact
+    reference algorithm for Lemma 5.5 verification and for every place the
+    benchmarks need ground-truth minimum cuts. *)
+
+val mincut : Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
+(** Requires a connected graph with at least 2 vertices. For a disconnected
+    graph the result is (0, one component), which is still the true minimum
+    cut. *)
+
+val mincut_value : Dcs_graph.Ugraph.t -> float

@@ -1,0 +1,1 @@
+lib/sketch/benczur_karger.ml: Dcs_graph Importance Printf Sketch Strength

@@ -1,0 +1,1 @@
+lib/sketch/benczur_karger.mli: Dcs_graph Dcs_util Sketch

@@ -1,0 +1,1 @@
+lib/sketch/directed_sparsifier.ml: Dcs_graph Importance Printf Sketch Strength

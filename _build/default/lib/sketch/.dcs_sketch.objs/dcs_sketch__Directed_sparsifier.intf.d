@@ -1,0 +1,1 @@
+lib/sketch/directed_sparsifier.mli: Dcs_graph Dcs_util Sketch

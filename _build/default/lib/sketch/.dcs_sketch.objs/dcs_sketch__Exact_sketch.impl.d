@@ -1,0 +1,1 @@
+lib/sketch/exact_sketch.ml: Dcs_graph Sketch

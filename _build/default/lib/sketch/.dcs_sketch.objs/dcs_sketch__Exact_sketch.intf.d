@@ -1,0 +1,1 @@
+lib/sketch/exact_sketch.mli: Dcs_graph Sketch

@@ -1,0 +1,1 @@
+lib/sketch/foreach_sampler.ml: Dcs_graph Importance Printf Sketch Strength

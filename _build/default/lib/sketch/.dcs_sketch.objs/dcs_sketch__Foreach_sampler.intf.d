@@ -1,0 +1,1 @@
+lib/sketch/foreach_sampler.mli: Dcs_graph Dcs_util Sketch

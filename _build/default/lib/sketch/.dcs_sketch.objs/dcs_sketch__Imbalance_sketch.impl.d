@@ -1,0 +1,1 @@
+lib/sketch/imbalance_sketch.ml: Array Dcs_graph Foreach_sampler Printf Sketch

@@ -1,0 +1,1 @@
+lib/sketch/imbalance_sketch.mli: Dcs_graph Dcs_util Sketch

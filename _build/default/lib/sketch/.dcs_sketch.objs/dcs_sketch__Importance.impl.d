@@ -1,0 +1,1 @@
+lib/sketch/importance.ml: Dcs_graph Dcs_util Float

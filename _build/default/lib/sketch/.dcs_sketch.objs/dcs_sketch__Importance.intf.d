@@ -1,0 +1,1 @@
+lib/sketch/importance.mli: Dcs_graph Dcs_util

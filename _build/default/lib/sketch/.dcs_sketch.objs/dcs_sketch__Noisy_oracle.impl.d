@@ -1,0 +1,1 @@
+lib/sketch/noisy_oracle.ml: Dcs_graph Dcs_util Printf Sketch

@@ -1,0 +1,1 @@
+lib/sketch/noisy_oracle.mli: Dcs_graph Dcs_util Sketch

@@ -1,0 +1,1 @@
+lib/sketch/sketch.ml: Array Dcs_graph Dcs_util Float List Printf

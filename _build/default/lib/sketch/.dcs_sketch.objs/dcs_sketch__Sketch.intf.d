@@ -1,0 +1,1 @@
+lib/sketch/sketch.mli: Dcs_graph

@@ -1,0 +1,1 @@
+lib/sketch/strength.ml: Array Dcs_graph Float Hashtbl List

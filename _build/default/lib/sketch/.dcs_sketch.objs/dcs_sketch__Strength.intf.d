@@ -1,0 +1,1 @@
+lib/sketch/strength.mli: Dcs_graph

@@ -1,0 +1,4 @@
+let create g =
+  Sketch.of_digraph ~name:"exact"
+    ~size_bits:(Sketch.digraph_encoding_bits g)
+    (Dcs_graph.Digraph.copy g)

@@ -1,0 +1,27 @@
+module Prng = Dcs_util.Prng
+module Ugraph = Dcs_graph.Ugraph
+module Digraph = Dcs_graph.Digraph
+
+let clamp p = Float.max 0.0 (Float.min 1.0 p)
+
+let sample_ugraph rng ~prob g =
+  let h = Ugraph.create (Ugraph.n g) in
+  Ugraph.iter_edges g (fun u v w ->
+      let p = clamp (prob u v w) in
+      if p >= 1.0 then Ugraph.add_edge h u v w
+      else if p > 0.0 && Prng.bernoulli rng p then Ugraph.add_edge h u v (w /. p));
+  h
+
+let sample_digraph rng ~prob g =
+  let h = Digraph.create (Digraph.n g) in
+  Digraph.iter_edges g (fun u v w ->
+      let p = clamp (prob u v w) in
+      if p >= 1.0 then Digraph.add_edge h u v w
+      else if p > 0.0 && Prng.bernoulli rng p then Digraph.add_edge h u v (w /. p));
+  h
+
+let expected_edges_ugraph ~prob g =
+  Ugraph.fold_edges (fun u v w acc -> acc +. clamp (prob u v w)) g 0.0
+
+let expected_edges_digraph ~prob g =
+  Digraph.fold_edges (fun u v w acc -> acc +. clamp (prob u v w)) g 0.0

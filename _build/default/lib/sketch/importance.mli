@@ -1,0 +1,20 @@
+(** Generic importance sampling of edges: keep edge e with probability p_e,
+    reweight kept edges by w_e / p_e (unbiased for every cut). *)
+
+val sample_ugraph :
+  Dcs_util.Prng.t ->
+  prob:(int -> int -> float -> float) ->
+  Dcs_graph.Ugraph.t ->
+  Dcs_graph.Ugraph.t
+
+val sample_digraph :
+  Dcs_util.Prng.t ->
+  prob:(int -> int -> float -> float) ->
+  Dcs_graph.Digraph.t ->
+  Dcs_graph.Digraph.t
+
+val expected_edges_ugraph :
+  prob:(int -> int -> float -> float) -> Dcs_graph.Ugraph.t -> float
+
+val expected_edges_digraph :
+  prob:(int -> int -> float -> float) -> Dcs_graph.Digraph.t -> float

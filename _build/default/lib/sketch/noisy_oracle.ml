@@ -1,0 +1,22 @@
+module Prng = Dcs_util.Prng
+module Cut = Dcs_graph.Cut
+
+type mode = Random | Adversarial | Deterministic_up | Deterministic_down
+
+let create ?(mode = Adversarial) rng ~eps g =
+  if eps < 0.0 || eps >= 1.0 then invalid_arg "Noisy_oracle.create: eps in [0,1)";
+  let g = Dcs_graph.Digraph.copy g in
+  let rng = Prng.split rng in
+  let factor () =
+    match mode with
+    | Random -> 1.0 +. (eps *. ((2.0 *. Prng.float rng 1.0) -. 1.0))
+    | Adversarial -> 1.0 +. (eps *. float_of_int (Prng.sign rng))
+    | Deterministic_up -> 1.0 +. eps
+    | Deterministic_down -> 1.0 -. eps
+  in
+  {
+    Sketch.name = Printf.sprintf "noisy-oracle(eps=%g)" eps;
+    size_bits = Sketch.digraph_encoding_bits g;
+    query = (fun s -> Cut.value g s *. factor ());
+    graph = None;
+  }

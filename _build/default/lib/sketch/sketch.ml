@@ -1,0 +1,60 @@
+module Digraph = Dcs_graph.Digraph
+module Cut = Dcs_graph.Cut
+module Bits = Dcs_util.Bits
+
+type t = {
+  name : string;
+  size_bits : int;
+  query : Cut.t -> float;
+  graph : Digraph.t option;
+}
+
+let digraph_encoding_bits g =
+  let c = Bits.create () in
+  Bits.write_nonneg c (Digraph.n g);
+  Bits.write_nonneg c (Digraph.m g);
+  let vertex_bits = Bits.bits_for_range (max 2 (Digraph.n g)) in
+  Digraph.iter_edges g (fun _ _ _ ->
+      Bits.add c (2 * vertex_bits);
+      Bits.add c 64);
+  Bits.total c
+
+let ugraph_encoding_bits g =
+  let module Ugraph = Dcs_graph.Ugraph in
+  let c = Bits.create () in
+  Bits.write_nonneg c (Ugraph.n g);
+  Bits.write_nonneg c (Ugraph.m g);
+  let vertex_bits = Bits.bits_for_range (max 2 (Ugraph.n g)) in
+  Ugraph.iter_edges g (fun _ _ _ ->
+      Bits.add c (2 * vertex_bits);
+      Bits.add c 64);
+  Bits.total c
+
+let of_digraph ~name ~size_bits g =
+  { name; size_bits; query = (fun s -> Cut.value g s); graph = Some g }
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let median_boost parts =
+  match parts with
+  | [] -> invalid_arg "Sketch.median_boost: no sketches"
+  | first :: _ ->
+      {
+        name = Printf.sprintf "median-of-%d(%s)" (List.length parts) first.name;
+        size_bits = List.fold_left (fun acc s -> acc + s.size_bits) 0 parts;
+        query = (fun c -> median (List.map (fun s -> s.query c) parts));
+        graph = None;
+      }
+
+let relative_error sk g s =
+  let truth = Cut.value g s in
+  let est = sk.query s in
+  if truth = 0.0 then if Float.abs est < 1e-12 then 0.0 else infinity
+  else Float.abs (est -. truth) /. truth
+
+let max_error_on sk g cuts =
+  List.fold_left (fun acc s -> Float.max acc (relative_error sk g s)) 0.0 cuts

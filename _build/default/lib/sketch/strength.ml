@@ -1,0 +1,65 @@
+module Ugraph = Dcs_graph.Ugraph
+
+type t = {
+  idx : (int * int, int) Hashtbl.t;  (* key has u < v *)
+  rounds : int;
+}
+
+let key u v = if u < v then (u, v) else (v, u)
+
+(* Union-find used per forest round. *)
+let rec find parent x =
+  if parent.(x) = x then x
+  else begin
+    parent.(x) <- find parent parent.(x);
+    parent.(x)
+  end
+
+let compute ?(max_rounds = 512) g =
+  if max_rounds < 1 then invalid_arg "Strength.compute: max_rounds";
+  let n = Ugraph.n g in
+  let idx = Hashtbl.create (2 * Ugraph.m g) in
+  (* Remaining multiplicity per live edge. *)
+  let live = Hashtbl.create (2 * Ugraph.m g) in
+  Ugraph.iter_edges g (fun u v w ->
+      let mult = max 1 (int_of_float (Float.round w)) in
+      Hashtbl.replace live (key u v) mult);
+  let round = ref 0 in
+  while Hashtbl.length live > 0 && !round < max_rounds do
+    incr round;
+    let parent = Array.init n (fun i -> i) in
+    let used = ref [] in
+    Hashtbl.iter
+      (fun (u, v) _ ->
+        let ru = find parent u and rv = find parent v in
+        if ru <> rv then begin
+          parent.(ru) <- rv;
+          used := (u, v) :: !used
+        end)
+      live;
+    List.iter
+      (fun e ->
+        let mult = Hashtbl.find live e in
+        if mult <= 1 then begin
+          Hashtbl.remove live e;
+          Hashtbl.replace idx e !round
+        end
+        else Hashtbl.replace live e (mult - 1))
+      !used
+  done;
+  (* Edges still alive are at least max_rounds-connected (or were never
+     reached because the forest construction stalled on multiplicity). *)
+  Hashtbl.iter (fun e _ -> Hashtbl.replace idx e !round) live;
+  { idx; rounds = !round }
+
+let index t u v =
+  match Hashtbl.find_opt t.idx (key u v) with
+  | Some i -> i
+  | None -> raise Not_found
+
+let rounds_used t = t.rounds
+
+let fold f t init = Hashtbl.fold (fun (u, v) i acc -> f u v i acc) t.idx init
+
+let min_index t = fold (fun _ _ i acc -> min i acc) t max_int
+let max_index t = fold (fun _ _ i acc -> max i acc) t 0

@@ -1,0 +1,31 @@
+(** Nagamochi–Ibaraki forest decomposition and edge-strength estimates.
+
+    A spanning-forest decomposition assigns every edge an index: compute a
+    maximal spanning forest, give its edges index 1, remove them, and
+    repeat. An edge whose index is k connects two vertices that are at least
+    k-edge-connected in the graph, so the index is a valid lower estimate of
+    the edge's local connectivity — exactly what Benczúr–Karger-style
+    sampling needs (sampling probabilities may only *over*estimate
+    importance, never underestimate it).
+
+    Integer edge weights are treated as multiplicities: an edge of weight w
+    may be used by w consecutive forests and receives the index of the
+    forest that exhausts it. *)
+
+type t
+
+val compute : ?max_rounds:int -> Dcs_graph.Ugraph.t -> t
+(** Weights are rounded to integer multiplicities (minimum 1).
+    [max_rounds] caps the number of forests (default 512); surviving edges
+    get index [max_rounds], still a valid lower estimate. *)
+
+val index : t -> int -> int -> int
+(** NI index of edge (u, v); raises [Not_found] for a non-edge. *)
+
+val rounds_used : t -> int
+
+val fold : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over (u, v, index) with u < v. *)
+
+val min_index : t -> int
+val max_index : t -> int

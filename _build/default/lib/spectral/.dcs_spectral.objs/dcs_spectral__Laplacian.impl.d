@@ -1,0 +1,1 @@
+lib/spectral/laplacian.ml: Array Dcs_graph Float Option

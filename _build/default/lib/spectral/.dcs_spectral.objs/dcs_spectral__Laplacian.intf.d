@@ -1,0 +1,1 @@
+lib/spectral/laplacian.mli: Dcs_graph

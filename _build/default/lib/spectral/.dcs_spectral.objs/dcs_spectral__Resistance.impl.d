@@ -1,0 +1,1 @@
+lib/spectral/resistance.ml: Array Dcs_graph Hashtbl Laplacian

@@ -1,0 +1,1 @@
+lib/spectral/resistance.mli: Dcs_graph Hashtbl

@@ -1,0 +1,1 @@
+lib/spectral/spectral_sparsifier.ml: Dcs_graph Dcs_util Float Hashtbl Resistance

@@ -1,0 +1,1 @@
+lib/spectral/spectral_sparsifier.mli: Dcs_graph Dcs_util

@@ -1,0 +1,19 @@
+(** Effective resistances.
+
+    R(u,v) = (e_u - e_v)ᵀ L⁺ (e_u - e_v): the electrical resistance between
+    u and v when edges are conductors of conductance w_e. Effective
+    resistance is the importance measure behind spectral sparsification
+    (SS11) — the spectral analogue of the inverse edge strengths used by
+    the cut sparsifiers in this library. Foster's theorem
+    (Σ_e w_e·R_e = n - 1 on a connected graph) gives the expected sample
+    size and doubles as a strong correctness test. *)
+
+val pair : Dcs_graph.Ugraph.t -> int -> int -> float
+(** One CG solve; requires a connected graph. *)
+
+val all_edges : Dcs_graph.Ugraph.t -> (int * int, float) Hashtbl.t
+(** R_e for every edge (key has u < v); n CG solves via per-vertex
+    potentials. *)
+
+val foster_sum : Dcs_graph.Ugraph.t -> float
+(** Σ_{e} w_e·R_e — equals n - 1 exactly on a connected graph. *)

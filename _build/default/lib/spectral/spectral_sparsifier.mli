@@ -1,0 +1,17 @@
+(** Spectral sparsification by effective-resistance sampling (Spielman–
+    Srivastava): keep edge e with probability
+    p_e = min(1, c·w_e·R_e·ln n / ε²) and reweight by 1/p_e. The result
+    preserves every Laplacian quadratic form — in particular every cut —
+    within (1 ± ε) w.h.p., with O(n·ln n/ε²) expected edges (by Foster's
+    theorem, Σ w_e·R_e = n-1).
+
+    This is the strictly stronger sibling of the Benczúr–Karger cut
+    sparsifier that the paper's related-work section contrasts against;
+    having both lets the benchmarks compare the sampling measures
+    (resistances vs strength indices) on identical graphs. *)
+
+val sparsify :
+  ?c:float -> Dcs_util.Prng.t -> eps:float -> Dcs_graph.Ugraph.t -> Dcs_graph.Ugraph.t
+(** Requires a connected graph. Default [c] = 4.0. *)
+
+val expected_edges : ?c:float -> eps:float -> Dcs_graph.Ugraph.t -> float

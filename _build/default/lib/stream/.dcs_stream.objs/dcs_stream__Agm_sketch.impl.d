@@ -1,0 +1,1 @@
+lib/stream/agm_sketch.ml: Array Dcs_util Float Hashtbl L0_sampler List Option

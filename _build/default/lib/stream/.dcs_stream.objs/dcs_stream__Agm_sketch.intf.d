@@ -1,0 +1,1 @@
+lib/stream/agm_sketch.mli: Dcs_util

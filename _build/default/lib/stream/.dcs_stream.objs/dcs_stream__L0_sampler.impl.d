@@ -1,0 +1,1 @@
+lib/stream/l0_sampler.ml: Array Dcs_util

@@ -1,0 +1,1 @@
+lib/stream/l0_sampler.mli: Dcs_util

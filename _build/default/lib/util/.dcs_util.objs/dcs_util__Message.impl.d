@@ -1,0 +1,1 @@
+lib/util/message.ml: Array Char String

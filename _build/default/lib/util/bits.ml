@@ -1,0 +1,31 @@
+type counter = { mutable bits : int }
+
+let create () = { bits = 0 }
+let total c = c.bits
+let total_bytes c = (c.bits + 7) / 8
+let add c n =
+  if n < 0 then invalid_arg "Bits.add: negative";
+  c.bits <- c.bits + n
+
+let write_bool c _ = add c 1
+
+let bits_for_range n =
+  if n <= 0 then invalid_arg "Bits.bits_for_range";
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let write_fixed c ~width v =
+  if width < 0 || width > 62 then invalid_arg "Bits.write_fixed: width";
+  if v < 0 || (width < 62 && v lsr width <> 0) then
+    invalid_arg "Bits.write_fixed: value out of range";
+  add c width
+
+let write_float c _ = add c 64
+
+let gamma_size v =
+  if v <= 0 then invalid_arg "Bits.gamma_size: positive required";
+  let rec log2floor acc v = if v = 1 then acc else log2floor (acc + 1) (v lsr 1) in
+  (2 * log2floor 0 v) + 1
+
+let write_gamma c v = add c (gamma_size v)
+let write_nonneg c v = write_gamma c (v + 1)

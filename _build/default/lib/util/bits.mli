@@ -1,0 +1,43 @@
+(** Bit-level size accounting.
+
+    Lower bounds in the paper are stated in bits, so every sketch in this
+    library reports an honest serialized size via a [Bits.counter]: a write-
+    only stream that records exactly how many bits a canonical encoding of
+    the data structure would occupy. Helpers are provided for the usual
+    primitive encodings (fixed-width ints, Elias gamma for unbounded ints,
+    IEEE doubles). *)
+
+type counter
+
+val create : unit -> counter
+
+val total : counter -> int
+(** Bits written so far. *)
+
+val total_bytes : counter -> int
+(** Rounded-up byte count. *)
+
+val add : counter -> int -> unit
+(** Record [n] raw bits. *)
+
+val write_bool : counter -> bool -> unit
+
+val write_fixed : counter -> width:int -> int -> unit
+(** [write_fixed c ~width v] records a [width]-bit unsigned field; checks
+    that [v] fits. *)
+
+val write_float : counter -> float -> unit
+(** 64 bits. *)
+
+val write_gamma : counter -> int -> unit
+(** Elias gamma code for a positive integer: 2*floor(log2 v) + 1 bits. *)
+
+val write_nonneg : counter -> int -> unit
+(** Gamma code of [v + 1]: handles zero. *)
+
+val bits_for_range : int -> int
+(** [bits_for_range n] is the width needed to address [n] distinct values,
+    i.e. ceil(log2 n) with [bits_for_range 1 = 0]. *)
+
+val gamma_size : int -> int
+(** Size in bits of the gamma code of a positive integer. *)

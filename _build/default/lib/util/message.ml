@@ -1,0 +1,20 @@
+let to_signs s =
+  let out = Array.make (8 * String.length s) (-1) in
+  String.iteri
+    (fun i ch ->
+      let c = Char.code ch in
+      for b = 0 to 7 do
+        if (c lsr (7 - b)) land 1 = 1 then out.((i * 8) + b) <- 1
+      done)
+    s;
+  out
+
+let of_signs bits =
+  let n = Array.length bits in
+  if n mod 8 <> 0 then invalid_arg "Message.of_signs: length not a multiple of 8";
+  String.init (n / 8) (fun i ->
+      let c = ref 0 in
+      for b = 0 to 7 do
+        c := (!c lsl 1) lor (if bits.((i * 8) + b) > 0 then 1 else 0)
+      done;
+      Char.chr !c)

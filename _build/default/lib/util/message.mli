@@ -1,0 +1,10 @@
+(** Text ↔ sign-string conversion for the "message in a graph" demos: a
+    byte becomes eight {-1,+1} entries, most significant bit first (the
+    alphabet of the Section 3 encoder). *)
+
+val to_signs : string -> int array
+(** Length 8·|s|, entries in {-1,+1}. *)
+
+val of_signs : int array -> string
+(** Inverse; length must be a multiple of 8. Nonpositive entries read as
+    0-bits, positive as 1-bits (so a noisy decode still yields bytes). *)

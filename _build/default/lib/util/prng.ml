@@ -1,0 +1,100 @@
+(* SplitMix64. State is a single 64-bit counter advanced by a per-stream odd
+   "gamma"; output is a bijective finalizer of the state. Splitting derives a
+   new gamma from the parent stream, which keeps child streams independent. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gamma values must be odd; mix_gamma also guards against gammas with too
+   few bit transitions (as in the reference implementation). *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L in
+  let transitions = Int64.logxor z (Int64.shift_right_logical z 1) in
+  let popcount x =
+    let c = ref 0 in
+    for i = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr c
+    done;
+    !c
+  in
+  if popcount transitions < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let create seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let next_state t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let bits64 t = mix64 (next_state t)
+
+let split t =
+  let s = bits64 t in
+  let g = mix_gamma (bits64 t) in
+  { state = s; gamma = g }
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let sign t = if bool t then 1 else -1
+
+(* Uniform int in [0, n) by rejection on the top 62 bits (OCaml ints are 63
+   bits; we keep everything nonnegative). *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  let rec go () =
+    let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let v = r mod n in
+    (* reject to avoid modulo bias *)
+    if r - v > (Int64.to_int (Int64.logand mask Int64.max_int)) - n + 1 then go () else v
+  in
+  go ()
+
+let float t x =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (float_of_int bits53 /. 9007199254740992.0 (* 2^53 *))
+
+let bernoulli t p =
+  if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u = 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Partial Fisher–Yates on a lazily materialized identity map: O(k) space. *)
+  let swapped = Hashtbl.create (2 * k) in
+  let get i = Option.value (Hashtbl.find_opt swapped i) ~default:i in
+  Array.init k (fun i ->
+      let j = i + int t (n - i) in
+      let vi = get i and vj = get j in
+      Hashtbl.replace swapped j vi;
+      Hashtbl.replace swapped i vj;
+      vj)

@@ -1,0 +1,38 @@
+(** Small statistics toolkit used by tests and the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 when n < 2. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [0,1], linear interpolation on the sorted
+    copy. Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+
+val min_max : float array -> float * float
+
+val success_rate : bool array -> float
+(** Fraction of [true] entries. *)
+
+val binomial_confidence_99 : trials:int -> float
+(** Half-width of a 99% normal-approximation confidence interval for a
+    success-rate estimate over [trials] Bernoulli trials (worst case p=1/2):
+    2.576 * sqrt(0.25/trials). *)
+
+val log2 : float -> float
+
+val linear_regression : (float * float) array -> float * float
+(** [linear_regression pts] returns [(slope, intercept)] of the least-squares
+    line. Used for log-log slope estimation in scaling experiments. Requires
+    at least two points with distinct x. *)
+
+val loglog_slope : (float * float) array -> float
+(** Slope of log y against log x; all coordinates must be positive. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** Equal-width histogram: [(left_edge, count)] per bin. *)

@@ -1,0 +1,33 @@
+(** Aligned plain-text tables for the benchmark harness.
+
+    The benches print paper-style result tables to stdout; this module keeps
+    the formatting in one place so every experiment renders consistently. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption row and fixed column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows must match the column count. *)
+
+val add_rule : t -> unit
+(** Horizontal separator between row groups. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by a trailing newline on stdout. *)
+
+(** Cell formatting helpers. *)
+
+val fint : int -> string
+val ffloat : ?digits:int -> float -> string
+val fpct : float -> string
+(** Percentage with one decimal, e.g. [fpct 0.953 = "95.3%"]. *)
+
+val fsci : float -> string
+(** Scientific-ish compact float, e.g. "1.23e+06". *)
+
+val fbool : bool -> string
+(** "yes" / "no". *)

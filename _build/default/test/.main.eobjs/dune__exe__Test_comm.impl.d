@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Array Bitstring Channel Dcs Float Gap_hamming Index_game Prng QCheck QCheck_alcotest Two_sum

@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Array Coordinator Dcs Dcs_graph Float Partition Prng QCheck QCheck_alcotest Stoer_wagner Ugraph

@@ -1,0 +1,1 @@
+test/test_forall_lb.ml: Alcotest Array Balance Bitstring Cut Dcs Digraph Exact_sketch Forall_lb Gap_hamming Layout List Noisy_oracle Printf Prng QCheck QCheck_alcotest Sketch Traversal

@@ -1,0 +1,1 @@
+test/test_foreach_lb.ml: Alcotest Array Balance Cut Dcs Digraph Exact_sketch Foreach_lb Index_game Layout List Noisy_oracle Printf Prng QCheck QCheck_alcotest Sketch Traversal

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Balance Cut Dcs Dcs_mincut Digraph Eulerian Float Generators List Prng QCheck QCheck_alcotest Serialize Traversal Ugraph

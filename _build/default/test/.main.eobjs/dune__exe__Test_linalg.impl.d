@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Dcs Decode_matrix Float Hadamard Pm_vector Printf Prng QCheck QCheck_alcotest

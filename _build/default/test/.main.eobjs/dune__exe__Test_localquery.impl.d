@@ -1,0 +1,1 @@
+test/test_localquery.ml: Alcotest Array Bitstring Dcs Dcs_graph Dinic Estimator Float Gxy List Oracle Prng QCheck QCheck_alcotest Reduction Stoer_wagner String Two_sum Ugraph Verify_guess

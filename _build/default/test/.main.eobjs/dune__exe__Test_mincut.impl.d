@@ -1,0 +1,1 @@
+test/test_mincut.ml: Alcotest Brute Cut Dcs Digraph Dinic Float Generators Gomory_hu Karger Karger_stein List Printf Prng QCheck QCheck_alcotest Stoer_wagner Ugraph

@@ -1,0 +1,1 @@
+test/test_spectral.ml: Alcotest Array Cut Dcs Float Generators Hashtbl Laplacian Prng QCheck QCheck_alcotest Resistance Spectral_sparsifier Ugraph

@@ -1,0 +1,1 @@
+test/test_stream.ml: Agm_sketch Alcotest Array Dcs Dcs_graph Generators Hashtbl L0_sampler List Prng QCheck QCheck_alcotest Ugraph

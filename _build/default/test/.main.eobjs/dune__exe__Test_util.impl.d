@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Dcs Float Hashtbl List Message Prng Stats String Table

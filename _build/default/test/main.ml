@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "dcs"
+    [
+      ("util", Test_util.suite);
+      ("linalg", Test_linalg.suite);
+      ("graph", Test_graph.suite);
+      ("mincut", Test_mincut.suite);
+      ("comm", Test_comm.suite);
+      ("sketch", Test_sketch.suite);
+      ("foreach_lb", Test_foreach_lb.suite);
+      ("forall_lb", Test_forall_lb.suite);
+      ("localquery", Test_localquery.suite);
+      ("distributed", Test_distributed.suite);
+      ("spectral", Test_spectral.suite);
+      ("stream", Test_stream.suite);
+    ]

@@ -1,0 +1,139 @@
+open Dcs
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let planted seed =
+  let rng = Prng.create seed in
+  Dcs_graph.Generators.planted_mincut rng ~block:40 ~k:5 ~p_inner:0.4
+
+(* --- Partition --- *)
+
+let test_partition_random_union_roundtrip () =
+  let rng = Prng.create 1 in
+  let g = planted 2 in
+  let shards = Partition.random rng ~servers:4 g in
+  Alcotest.(check int) "4 shards" 4 (Array.length shards);
+  let merged = Partition.union (Ugraph.n g) shards in
+  Alcotest.(check bool) "union restores graph" true (Ugraph.equal g merged)
+
+let test_partition_hash_deterministic () =
+  let g = planted 3 in
+  let a = Partition.by_hash ~servers:3 g in
+  let b = Partition.by_hash ~servers:3 g in
+  Array.iteri
+    (fun i shard -> Alcotest.(check bool) "same shard" true (Ugraph.equal shard b.(i)))
+    a
+
+let test_partition_edges_disjoint () =
+  let rng = Prng.create 4 in
+  let g = planted 5 in
+  let shards = Partition.random rng ~servers:3 g in
+  let total = Array.fold_left (fun acc s -> acc + Ugraph.m s) 0 shards in
+  Alcotest.(check int) "edge counts add up" (Ugraph.m g) total;
+  Ugraph.iter_edges g (fun u v _ ->
+      let owners =
+        Array.fold_left
+          (fun acc s -> if Ugraph.mem_edge s u v then acc + 1 else acc)
+          0 shards
+      in
+      Alcotest.(check int) "exactly one owner" 1 owners)
+
+let test_partition_single_server () =
+  let rng = Prng.create 6 in
+  let g = planted 7 in
+  let shards = Partition.random rng ~servers:1 g in
+  Alcotest.(check bool) "identity" true (Ugraph.equal g shards.(0))
+
+(* --- Coordinator --- *)
+
+let test_coordinator_recovers_mincut () =
+  let rng = Prng.create 8 in
+  let g = planted 9 in
+  let exact = Stoer_wagner.mincut_value g in
+  let shards = Partition.random rng ~servers:4 g in
+  let cfg = Coordinator.default_config ~eps:0.2 in
+  let r = Coordinator.min_cut rng cfg shards in
+  Alcotest.(check bool) "estimate close to exact" true
+    (Float.abs (r.Coordinator.estimate -. exact) <= (0.3 *. exact) +. 1e-9);
+  (* The returned witness cut should be near-minimum on the true graph. *)
+  let true_val = Ugraph.cut_value g r.Coordinator.cut in
+  Alcotest.(check bool) "witness near-minimum" true (true_val <= 1.5 *. exact)
+
+let test_coordinator_bits_accounting () =
+  let rng = Prng.create 10 in
+  let g = planted 11 in
+  let shards = Partition.random rng ~servers:2 g in
+  let cfg = Coordinator.default_config ~eps:0.25 in
+  let r = Coordinator.min_cut rng cfg shards in
+  Alcotest.(check int) "total = forall + foreach"
+    (r.Coordinator.forall_bits + r.Coordinator.foreach_bits)
+    r.Coordinator.total_bits;
+  Alcotest.(check bool) "positive" true (r.Coordinator.total_bits > 0);
+  Alcotest.(check bool) "naive positive" true (r.Coordinator.naive_bits > 0)
+
+let test_coordinator_candidates_nonempty () =
+  let rng = Prng.create 12 in
+  let g = planted 13 in
+  let shards = Partition.random rng ~servers:3 g in
+  let cfg = { (Coordinator.default_config ~eps:0.3) with Coordinator.karger_trials = 80 } in
+  let r = Coordinator.min_cut rng cfg shards in
+  Alcotest.(check bool) "at least one candidate" true (r.Coordinator.candidates >= 1)
+
+let test_coordinator_single_shard_matches () =
+  (* One server holding everything: the pipeline reduces to sparsify+karger. *)
+  let rng = Prng.create 14 in
+  let g = planted 15 in
+  let exact = Stoer_wagner.mincut_value g in
+  let cfg = Coordinator.default_config ~eps:0.2 in
+  let r = Coordinator.min_cut rng cfg [| g |] in
+  Alcotest.(check bool) "close" true
+    (Float.abs (r.Coordinator.estimate -. exact) <= (0.3 *. exact) +. 1e-9)
+
+let test_coordinator_empty_shard_tolerated () =
+  let rng = Prng.create 16 in
+  let g = planted 17 in
+  let shards = [| g; Ugraph.create (Ugraph.n g) |] in
+  let cfg = Coordinator.default_config ~eps:0.25 in
+  let r = Coordinator.min_cut rng cfg shards in
+  Alcotest.(check bool) "still works" true (r.Coordinator.estimate > 0.0)
+
+let test_coordinator_weighted_graph () =
+  let rng = Prng.create 18 in
+  let base = Dcs_graph.Generators.complete ~n:30 in
+  let g = Dcs_graph.Generators.random_multigraph_weights rng base ~max_weight:10 in
+  let exact = Stoer_wagner.mincut_value g in
+  let shards = Partition.random rng ~servers:3 g in
+  let cfg = Coordinator.default_config ~eps:0.2 in
+  let r = Coordinator.min_cut rng cfg shards in
+  Alcotest.(check bool) "weighted close" true
+    (Float.abs (r.Coordinator.estimate -. exact) <= (0.35 *. exact) +. 1e-9)
+
+(* qcheck: the refined estimate never undercuts the true minimum cut by
+   more than the sketch error (the candidate is a real cut, whose true
+   value is >= mincut; the for-each estimate is within ~eps of it). *)
+let prop_estimate_lower_bounded =
+  QCheck.Test.make ~name:"distributed estimate >= (1-2eps)·mincut" ~count:8
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = planted (seed + 1000) in
+      let exact = Stoer_wagner.mincut_value g in
+      let shards = Partition.random rng ~servers:3 g in
+      let cfg = Coordinator.default_config ~eps:0.2 in
+      let r = Coordinator.min_cut rng cfg shards in
+      r.Coordinator.estimate >= (1.0 -. 0.4) *. exact)
+
+let suite =
+  [
+    Alcotest.test_case "partition: random roundtrip" `Quick test_partition_random_union_roundtrip;
+    Alcotest.test_case "partition: hash deterministic" `Quick test_partition_hash_deterministic;
+    Alcotest.test_case "partition: edges disjoint" `Quick test_partition_edges_disjoint;
+    Alcotest.test_case "partition: single server" `Quick test_partition_single_server;
+    Alcotest.test_case "coordinator: recovers mincut" `Quick test_coordinator_recovers_mincut;
+    Alcotest.test_case "coordinator: bits accounting" `Quick test_coordinator_bits_accounting;
+    Alcotest.test_case "coordinator: candidates" `Quick test_coordinator_candidates_nonempty;
+    Alcotest.test_case "coordinator: single shard" `Quick test_coordinator_single_shard_matches;
+    Alcotest.test_case "coordinator: empty shard" `Quick test_coordinator_empty_shard_tolerated;
+    Alcotest.test_case "coordinator: weighted" `Quick test_coordinator_weighted_graph;
+    QCheck_alcotest.to_alcotest prop_estimate_lower_bounded;
+  ]

@@ -1,0 +1,501 @@
+open Dcs
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Digraph --- *)
+
+let test_digraph_basic () =
+  let g = Digraph.create 4 in
+  Alcotest.(check int) "n" 4 (Digraph.n g);
+  Alcotest.(check int) "m empty" 0 (Digraph.m g);
+  Digraph.add_edge g 0 1 2.0;
+  Digraph.add_edge g 0 1 3.0;
+  Alcotest.(check int) "m merged" 1 (Digraph.m g);
+  check_float "accumulated" 5.0 (Digraph.weight g 0 1);
+  check_float "absent" 0.0 (Digraph.weight g 1 0)
+
+let test_digraph_set_remove () =
+  let g = Digraph.create 3 in
+  Digraph.set_edge g 0 1 2.0;
+  Digraph.set_edge g 0 1 0.0;
+  Alcotest.(check int) "removed" 0 (Digraph.m g);
+  Alcotest.(check bool) "mem" false (Digraph.mem_edge g 0 1)
+
+let test_digraph_rejects () =
+  let g = Digraph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.set_edge: self-loop")
+    (fun () -> Digraph.add_edge g 1 1 1.0);
+  Alcotest.check_raises "negative" (Invalid_argument "Digraph.add_edge: negative weight")
+    (fun () -> Digraph.add_edge g 0 1 (-1.0))
+
+let test_digraph_degrees () =
+  let g = Digraph.of_edges 4 [ (0, 1, 1.0); (0, 2, 2.0); (3, 0, 4.0) ] in
+  Alcotest.(check int) "out deg" 2 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in deg" 1 (Digraph.in_degree g 0);
+  check_float "out weight" 3.0 (Digraph.out_weight g 0);
+  check_float "in weight" 4.0 (Digraph.in_weight g 0)
+
+let test_digraph_reverse () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0); (1, 2, 2.0) ] in
+  let r = Digraph.reverse g in
+  check_float "reversed edge" 1.0 (Digraph.weight r 1 0);
+  check_float "reversed edge 2" 2.0 (Digraph.weight r 2 1);
+  Alcotest.(check bool) "double reverse" true (Digraph.equal g (Digraph.reverse r))
+
+let test_digraph_copy_independent () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0) ] in
+  let h = Digraph.copy g in
+  Digraph.add_edge h 1 2 1.0;
+  Alcotest.(check int) "original unchanged" 1 (Digraph.m g);
+  Alcotest.(check int) "copy changed" 2 (Digraph.m h)
+
+let test_digraph_cut_weight () =
+  (* 0 -> 1 (3), 1 -> 0 (1), 0 -> 2 (5), 2 -> 1 (7) *)
+  let g = Digraph.of_edges 3 [ (0, 1, 3.0); (1, 0, 1.0); (0, 2, 5.0); (2, 1, 7.0) ] in
+  let mem v = v = 0 in
+  check_float "w(S, V-S)" 8.0 (Digraph.cut_weight g mem);
+  check_float "w(V-S, S)" 1.0 (Digraph.cut_weight_into g mem)
+
+let test_digraph_total_weight () =
+  let g = Digraph.of_edges 3 [ (0, 1, 3.0); (1, 2, 4.0) ] in
+  check_float "total" 7.0 (Digraph.total_weight g)
+
+let test_digraph_map_weights () =
+  let g = Digraph.of_edges 3 [ (0, 1, 3.0); (1, 2, 4.0) ] in
+  let h = Digraph.map_weights g (fun _ _ w -> if w > 3.5 then w *. 2.0 else 0.0) in
+  Alcotest.(check int) "dropped one" 1 (Digraph.m h);
+  check_float "doubled" 8.0 (Digraph.weight h 1 2)
+
+let test_digraph_symmetrize () =
+  let g = Digraph.of_edges 2 [ (0, 1, 3.0); (1, 0, 1.0) ] in
+  let s = Digraph.symmetrize g in
+  check_float "sym forward" 4.0 (Digraph.weight s 0 1);
+  check_float "sym backward" 4.0 (Digraph.weight s 1 0)
+
+(* --- Ugraph --- *)
+
+let test_ugraph_basic () =
+  let g = Ugraph.create 4 in
+  Ugraph.add_edge g 0 1 2.0;
+  Ugraph.add_edge g 1 0 3.0;
+  Alcotest.(check int) "merged" 1 (Ugraph.m g);
+  check_float "symmetric weight" 5.0 (Ugraph.weight g 0 1);
+  check_float "symmetric weight'" 5.0 (Ugraph.weight g 1 0)
+
+let test_ugraph_degree () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.0); (0, 2, 2.0) ] in
+  Alcotest.(check int) "degree" 2 (Ugraph.degree g 0);
+  check_float "weighted degree" 3.0 (Ugraph.weighted_degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Ugraph.degree g 1)
+
+let test_ugraph_iter_edges_once () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.0); (2, 1, 2.0); (3, 0, 3.0) ] in
+  let count = ref 0 in
+  Ugraph.iter_edges g (fun u v _ ->
+      incr count;
+      Alcotest.(check bool) "u < v" true (u < v));
+  Alcotest.(check int) "each once" 3 !count
+
+let test_ugraph_cut () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.0); (1, 2, 2.0); (2, 3, 4.0); (3, 0, 8.0) ] in
+  let c = Cut.of_indices ~n:4 [ 0; 1 ] in
+  check_float "cycle cut" 10.0 (Ugraph.cut_value g c)
+
+let test_ugraph_digraph_roundtrip () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.5); (1, 2, 2.5) ] in
+  let d = Ugraph.to_digraph g in
+  Alcotest.(check int) "directed edges doubled" 4 (Digraph.m d);
+  let back = Ugraph.of_digraph d in
+  (* of_digraph adds both directions: weights double *)
+  check_float "weights doubled" 3.0 (Ugraph.weight back 0 1)
+
+let test_ugraph_cut_matches_digraph_cut () =
+  let rng = Prng.create 42 in
+  for _ = 1 to 20 do
+    let g = Generators.erdos_renyi rng ~n:12 ~p:0.4 in
+    let d = Ugraph.to_digraph g in
+    let c = Cut.random rng ~n:12 in
+    check_float "undirected = directed on symmetric"
+      (Ugraph.cut_value g c) (Cut.value d c)
+  done
+
+let test_neighbor_array_sorted () =
+  let g = Ugraph.of_edges 5 [ (2, 4, 1.0); (2, 0, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 3; 4 |] (Ugraph.neighbor_array g 2)
+
+(* --- Cut --- *)
+
+let test_cut_construction () =
+  let c = Cut.of_indices ~n:5 [ 1; 3 ] in
+  Alcotest.(check int) "cardinal" 2 (Cut.cardinal c);
+  Alcotest.(check bool) "mem 1" true (Cut.mem c 1);
+  Alcotest.(check bool) "mem 0" false (Cut.mem c 0);
+  Alcotest.(check (list int)) "to_list" [ 1; 3 ] (Cut.to_list c)
+
+let test_cut_complement () =
+  let c = Cut.of_indices ~n:4 [ 0 ] in
+  let cc = Cut.complement c in
+  Alcotest.(check (list int)) "complement" [ 1; 2; 3 ] (Cut.to_list cc);
+  Alcotest.(check bool) "proper" true (Cut.is_proper c);
+  Alcotest.(check bool) "full not proper" false
+    (Cut.is_proper (Cut.of_indices ~n:3 [ 0; 1; 2 ]))
+
+let test_cut_union () =
+  let a = Cut.of_indices ~n:4 [ 0 ] and b = Cut.of_indices ~n:4 [ 2 ] in
+  Alcotest.(check (list int)) "union" [ 0; 2 ] (Cut.to_list (Cut.union a b))
+
+let test_cut_directed_values () =
+  let g = Digraph.of_edges 3 [ (0, 1, 2.0); (1, 0, 5.0) ] in
+  let c = Cut.singleton ~n:3 0 in
+  check_float "forward" 2.0 (Cut.value g c);
+  check_float "backward" 5.0 (Cut.value_rev g c)
+
+let test_cut_random_of_size () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 20 do
+    let c = Cut.random_of_size rng ~n:10 ~k:4 in
+    Alcotest.(check int) "size" 4 (Cut.cardinal c)
+  done
+
+let test_cut_random_proper () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "proper" true (Cut.is_proper (Cut.random rng ~n:3))
+  done
+
+(* --- Balance --- *)
+
+let test_balance_of_cut () =
+  let g = Digraph.of_edges 2 [ (0, 1, 6.0); (1, 0, 2.0) ] in
+  let c = Cut.singleton ~n:2 0 in
+  check_float "ratio" 3.0 (Balance.of_cut g c);
+  check_float "inverse ratio" (1.0 /. 3.0) (Balance.of_cut g (Cut.complement c))
+
+let test_balance_exact_simple () =
+  let g = Digraph.of_edges 2 [ (0, 1, 6.0); (1, 0, 2.0) ] in
+  check_float "exact" 3.0 (Balance.exact g)
+
+let test_balance_exact_cycle () =
+  (* Directed triangle: each singleton cut has 1 out / 1 in -> balanced,
+     but e.g. S = {0,1} also has 1/1. Perfectly 1-balanced. *)
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0) ] in
+  check_float "eulerian cycle is 1-balanced" 1.0 (Balance.exact g)
+
+let test_balance_edgewise_bounds_exact () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 10 do
+    let g = Generators.balanced_digraph rng ~n:8 ~p:0.3 ~beta:4.0 ~max_weight:3.0 in
+    let exact = Balance.exact g in
+    let edgewise = Balance.edgewise_upper_bound g in
+    Alcotest.(check bool) "exact <= edgewise" true (exact <= edgewise +. 1e-9);
+    Alcotest.(check bool) "edgewise <= beta" true (edgewise <= 4.0 +. 1e-9)
+  done
+
+let test_balance_sampled_lower_bound () =
+  let rng = Prng.create 10 in
+  let g = Digraph.of_edges 2 [ (0, 1, 6.0); (1, 0, 2.0) ] in
+  let lb = Balance.sampled_lower_bound rng ~trials:10 g in
+  check_float "finds the 2-node cut" 3.0 lb
+
+let test_balance_infinite () =
+  let g = Digraph.of_edges 2 [ (0, 1, 1.0) ] in
+  check_float "one-way edge" infinity (Balance.edgewise_upper_bound g)
+
+(* --- Generators --- *)
+
+let test_er_connected () =
+  let rng = Prng.create 20 in
+  for _ = 1 to 10 do
+    let g = Generators.erdos_renyi_connected rng ~n:20 ~p:0.05 in
+    Alcotest.(check bool) "connected" true (Traversal.is_connected g)
+  done
+
+let test_gnm_edge_count () =
+  let rng = Prng.create 21 in
+  let g = Generators.gnm rng ~n:10 ~m:15 in
+  Alcotest.(check int) "m" 15 (Ugraph.m g)
+
+let test_balanced_digraph_strongly_connected () =
+  let rng = Prng.create 22 in
+  let g = Generators.balanced_digraph rng ~n:12 ~p:0.1 ~beta:2.0 ~max_weight:1.0 in
+  Alcotest.(check bool) "strongly connected" true (Traversal.is_strongly_connected g)
+
+let test_complete_bipartite () =
+  let g =
+    Generators.complete_bipartite_digraph ~left:3 ~right:2
+      ~fwd:(fun i j -> float_of_int ((i * 10) + j + 1))
+      ~bwd:(fun _ _ -> 0.5)
+  in
+  Alcotest.(check int) "n" 5 (Digraph.n g);
+  Alcotest.(check int) "m" 12 (Digraph.m g);
+  check_float "fwd weight" 12.0 (Digraph.weight g 1 4);
+  check_float "bwd weight" 0.5 (Digraph.weight g 4 1)
+
+let test_planted_mincut () =
+  let rng = Prng.create 23 in
+  let g = Generators.planted_mincut rng ~block:12 ~k:3 ~p_inner:0.7 in
+  Alcotest.(check int) "n" 24 (Ugraph.n g);
+  let cross = Cut.of_mem ~n:24 (fun v -> v < 12) in
+  check_float "cross cut = k" 3.0 (Ugraph.cut_value g cross)
+
+let test_cycle_path_complete () =
+  let c = Generators.cycle ~n:5 in
+  Alcotest.(check int) "cycle m" 5 (Ugraph.m c);
+  let p = Generators.path ~n:5 in
+  Alcotest.(check int) "path m" 4 (Ugraph.m p);
+  let k = Generators.complete ~n:5 in
+  Alcotest.(check int) "complete m" 10 (Ugraph.m k)
+
+let test_hypercube () =
+  let g = Generators.hypercube ~dim:4 in
+  Alcotest.(check int) "n" 16 (Ugraph.n g);
+  Alcotest.(check int) "m" 32 (Ugraph.m g);
+  for v = 0 to 15 do
+    Alcotest.(check int) "regular" 4 (Ugraph.degree g v)
+  done;
+  (* Q_d has edge connectivity d. *)
+  check_float "connectivity" 4.0 (Dcs_mincut.Dinic.edge_connectivity g)
+
+let test_grid () =
+  let g = Generators.grid ~rows:3 ~cols:4 in
+  Alcotest.(check int) "n" 12 (Ugraph.n g);
+  Alcotest.(check int) "m" 17 (Ugraph.m g);
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  Alcotest.(check int) "corner degree" 2 (Ugraph.degree g 0)
+
+let test_preferential_attachment () =
+  let rng = Prng.create 31 in
+  let g = Generators.preferential_attachment rng ~n:60 ~m_per_node:3 in
+  Alcotest.(check bool) "connected" true (Traversal.is_connected g);
+  (* hubs exist: max degree well above the attachment parameter *)
+  let maxdeg = ref 0 in
+  for v = 0 to 59 do
+    maxdeg := max !maxdeg (Ugraph.degree g v)
+  done;
+  Alcotest.(check bool) "has a hub" true (!maxdeg >= 6)
+
+let test_random_regular () =
+  let rng = Prng.create 32 in
+  let g = Generators.random_regular rng ~n:20 ~degree:4 in
+  for v = 0 to 19 do
+    Alcotest.(check int) "regular" 4 (Ugraph.degree g v)
+  done
+
+let test_random_regular_validation () =
+  let rng = Prng.create 33 in
+  Alcotest.check_raises "odd product"
+    (Invalid_argument "Generators.random_regular: n * degree must be even")
+    (fun () -> ignore (Generators.random_regular rng ~n:5 ~degree:3))
+
+(* --- Eulerian / circulations --- *)
+
+let test_circulation_detection () =
+  let cycle3 = Digraph.of_edges 3 [ (0, 1, 2.0); (1, 2, 2.0); (2, 0, 2.0) ] in
+  Alcotest.(check bool) "cycle is circulation" true (Eulerian.is_circulation cycle3);
+  let path = Digraph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  Alcotest.(check bool) "path is not" false (Eulerian.is_circulation path)
+
+let test_random_circulation_balanced () =
+  let rng = Prng.create 40 in
+  for _ = 1 to 10 do
+    let g = Eulerian.random_circulation rng ~n:10 ~cycles:5 ~max_weight:4.0 in
+    Alcotest.(check bool) "is circulation" true (Eulerian.is_circulation g)
+  done
+
+let test_circulation_is_one_balanced () =
+  (* Flow conservation: every cut has equal weight in both directions. *)
+  let rng = Prng.create 41 in
+  let g = Eulerian.random_circulation rng ~n:12 ~cycles:6 ~max_weight:3.0 in
+  for _ = 1 to 30 do
+    let c = Cut.random rng ~n:12 in
+    check_float "w(S,S̄) = w(S̄,S)" (Cut.value g c) (Cut.value_rev g c)
+  done
+
+let test_make_circulation () =
+  let rng = Prng.create 42 in
+  for _ = 1 to 10 do
+    let g = Generators.random_digraph rng ~n:9 ~p:0.3 ~max_weight:5.0 in
+    let h = Eulerian.make_circulation g in
+    Alcotest.(check bool) "balanced" true (Eulerian.is_circulation h);
+    (* original edges preserved (weights only grow on the fixing cycle) *)
+    Digraph.iter_edges g (fun u v w ->
+        Alcotest.(check bool) "kept" true (Digraph.weight h u v >= w -. 1e-9))
+  done
+
+let test_make_circulation_idempotent_on_balanced () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0) ] in
+  let h = Eulerian.make_circulation g in
+  Alcotest.(check bool) "unchanged" true (Digraph.equal g h)
+
+(* --- Traversal --- *)
+
+let test_bfs_distances () =
+  let g = Generators.path ~n:5 in
+  let d = Traversal.bfs_ugraph g 0 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3; 4 |] d
+
+let test_bfs_unreachable () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.0) ] in
+  let d = Traversal.bfs_ugraph g 0 in
+  Alcotest.(check int) "unreachable" (-1) d.(3)
+
+let test_components () =
+  let g = Ugraph.of_edges 5 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check int) "3 components" 3 (Traversal.component_count g);
+  Alcotest.(check bool) "not connected" false (Traversal.is_connected g)
+
+let test_strong_connectivity () =
+  let cycle = Digraph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0) ] in
+  Alcotest.(check bool) "cycle strong" true (Traversal.is_strongly_connected cycle);
+  let path = Digraph.of_edges 3 [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  Alcotest.(check bool) "path not strong" false (Traversal.is_strongly_connected path)
+
+let test_spanning_forest () =
+  let rng = Prng.create 30 in
+  let g = Generators.erdos_renyi_connected rng ~n:15 ~p:0.2 in
+  let f = Traversal.spanning_forest g in
+  Alcotest.(check int) "n-1 edges" 14 (List.length f)
+
+(* --- Serialize --- *)
+
+let test_serialize_ugraph_roundtrip_small () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.5); (2, 3, 0.25) ] in
+  let g' = Serialize.ugraph_of_string (Serialize.ugraph_to_string g) in
+  Alcotest.(check bool) "equal" true (Ugraph.equal g g')
+
+let test_serialize_digraph_roundtrip_small () =
+  let g = Digraph.of_edges 3 [ (0, 1, 3.14159); (1, 0, 2.71828) ] in
+  let g' = Serialize.digraph_of_string (Serialize.digraph_to_string g) in
+  Alcotest.(check bool) "equal" true (Digraph.equal g g')
+
+let test_serialize_empty_graph () =
+  let g = Ugraph.create 5 in
+  let g' = Serialize.ugraph_of_string (Serialize.ugraph_to_string g) in
+  Alcotest.(check int) "n preserved" 5 (Ugraph.n g');
+  Alcotest.(check int) "no edges" 0 (Ugraph.m g')
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialization round-trips exactly" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.random_digraph rng ~n:12 ~p:0.3 ~max_weight:5.0 in
+      Digraph.equal g (Serialize.digraph_of_string (Serialize.digraph_to_string g)))
+
+(* qcheck properties *)
+
+let prop_cut_value_additive_over_disjoint_graphs =
+  QCheck.Test.make ~name:"cut value additive over edge-disjoint union" ~count:50
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 10 in
+      let g1 = Generators.random_digraph rng ~n ~p:0.3 ~max_weight:2.0 in
+      let g2 = Generators.random_digraph rng ~n ~p:0.3 ~max_weight:2.0 in
+      let merged = Digraph.copy g1 in
+      Digraph.iter_edges g2 (fun u v w -> Digraph.add_edge merged u v w);
+      let c = Cut.random rng ~n in
+      Float.abs (Cut.value merged c -. (Cut.value g1 c +. Cut.value g2 c)) < 1e-6)
+
+let prop_cut_fwd_plus_bwd_is_symmetrized =
+  QCheck.Test.make ~name:"w(S,S̄) + w(S̄,S) = undirected cut of projection" ~count:50
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 9 in
+      let g = Generators.random_digraph rng ~n ~p:0.4 ~max_weight:3.0 in
+      let c = Cut.random rng ~n in
+      let sym = Ugraph.of_digraph g in
+      Float.abs (Cut.value g c +. Cut.value_rev g c -. Ugraph.cut_value sym c) < 1e-6)
+
+let prop_symmetric_digraph_is_1_balanced =
+  QCheck.Test.make ~name:"symmetric digraphs are exactly 1-balanced" ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.random_digraph rng ~n:8 ~p:0.4 ~max_weight:3.0 in
+      let s = Digraph.symmetrize g in
+      Digraph.m s = 0 || Float.abs (Balance.exact s -. 1.0) < 1e-9)
+
+let prop_cut_bounded_by_total_weight =
+  QCheck.Test.make ~name:"w(S,S̄) + w(S̄,S) <= total weight" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.random_digraph rng ~n:10 ~p:0.4 ~max_weight:3.0 in
+      let c = Cut.random rng ~n:10 in
+      Cut.value g c +. Cut.value_rev g c <= Digraph.total_weight g +. 1e-9)
+
+let prop_balance_of_complement_inverts =
+  QCheck.Test.make ~name:"balance(S) * balance(S̄) = 1" ~count:50
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 8 in
+      let g = Generators.balanced_digraph rng ~n ~p:0.3 ~beta:3.0 ~max_weight:2.0 in
+      let c = Cut.random rng ~n in
+      let b = Balance.of_cut g c and b' = Balance.of_cut g (Cut.complement c) in
+      Float.abs ((b *. b') -. 1.0) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "digraph: basics" `Quick test_digraph_basic;
+    Alcotest.test_case "digraph: set/remove" `Quick test_digraph_set_remove;
+    Alcotest.test_case "digraph: validation" `Quick test_digraph_rejects;
+    Alcotest.test_case "digraph: degrees" `Quick test_digraph_degrees;
+    Alcotest.test_case "digraph: reverse" `Quick test_digraph_reverse;
+    Alcotest.test_case "digraph: copy independence" `Quick test_digraph_copy_independent;
+    Alcotest.test_case "digraph: cut weights" `Quick test_digraph_cut_weight;
+    Alcotest.test_case "digraph: total weight" `Quick test_digraph_total_weight;
+    Alcotest.test_case "digraph: map weights" `Quick test_digraph_map_weights;
+    Alcotest.test_case "digraph: symmetrize" `Quick test_digraph_symmetrize;
+    Alcotest.test_case "ugraph: basics" `Quick test_ugraph_basic;
+    Alcotest.test_case "ugraph: degree" `Quick test_ugraph_degree;
+    Alcotest.test_case "ugraph: iter edges once" `Quick test_ugraph_iter_edges_once;
+    Alcotest.test_case "ugraph: cut" `Quick test_ugraph_cut;
+    Alcotest.test_case "ugraph: digraph roundtrip" `Quick test_ugraph_digraph_roundtrip;
+    Alcotest.test_case "ugraph: cut matches symmetric digraph" `Quick test_ugraph_cut_matches_digraph_cut;
+    Alcotest.test_case "ugraph: neighbor array sorted" `Quick test_neighbor_array_sorted;
+    Alcotest.test_case "cut: construction" `Quick test_cut_construction;
+    Alcotest.test_case "cut: complement/proper" `Quick test_cut_complement;
+    Alcotest.test_case "cut: union" `Quick test_cut_union;
+    Alcotest.test_case "cut: directed values" `Quick test_cut_directed_values;
+    Alcotest.test_case "cut: random of size" `Quick test_cut_random_of_size;
+    Alcotest.test_case "cut: random proper" `Quick test_cut_random_proper;
+    Alcotest.test_case "balance: of_cut" `Quick test_balance_of_cut;
+    Alcotest.test_case "balance: exact 2-node" `Quick test_balance_exact_simple;
+    Alcotest.test_case "balance: eulerian cycle" `Quick test_balance_exact_cycle;
+    Alcotest.test_case "balance: edgewise bound" `Quick test_balance_edgewise_bounds_exact;
+    Alcotest.test_case "balance: sampled lower bound" `Quick test_balance_sampled_lower_bound;
+    Alcotest.test_case "balance: infinite" `Quick test_balance_infinite;
+    Alcotest.test_case "generators: ER connected" `Quick test_er_connected;
+    Alcotest.test_case "generators: gnm count" `Quick test_gnm_edge_count;
+    Alcotest.test_case "generators: balanced strongly connected" `Quick test_balanced_digraph_strongly_connected;
+    Alcotest.test_case "generators: complete bipartite" `Quick test_complete_bipartite;
+    Alcotest.test_case "generators: planted mincut" `Quick test_planted_mincut;
+    Alcotest.test_case "generators: cycle/path/complete" `Quick test_cycle_path_complete;
+    Alcotest.test_case "generators: hypercube" `Quick test_hypercube;
+    Alcotest.test_case "generators: grid" `Quick test_grid;
+    Alcotest.test_case "generators: preferential attachment" `Quick test_preferential_attachment;
+    Alcotest.test_case "generators: random regular" `Quick test_random_regular;
+    Alcotest.test_case "generators: regular validation" `Quick test_random_regular_validation;
+    Alcotest.test_case "eulerian: detection" `Quick test_circulation_detection;
+    Alcotest.test_case "eulerian: random circulation" `Quick test_random_circulation_balanced;
+    Alcotest.test_case "eulerian: 1-balanced cuts" `Quick test_circulation_is_one_balanced;
+    Alcotest.test_case "eulerian: make circulation" `Quick test_make_circulation;
+    Alcotest.test_case "eulerian: idempotent" `Quick test_make_circulation_idempotent_on_balanced;
+    Alcotest.test_case "traversal: bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "traversal: unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "traversal: components" `Quick test_components;
+    Alcotest.test_case "traversal: strong connectivity" `Quick test_strong_connectivity;
+    Alcotest.test_case "traversal: spanning forest" `Quick test_spanning_forest;
+    Alcotest.test_case "serialize: ugraph roundtrip" `Quick test_serialize_ugraph_roundtrip_small;
+    Alcotest.test_case "serialize: digraph roundtrip" `Quick test_serialize_digraph_roundtrip_small;
+    Alcotest.test_case "serialize: empty" `Quick test_serialize_empty_graph;
+    QCheck_alcotest.to_alcotest prop_serialize_roundtrip;
+    QCheck_alcotest.to_alcotest prop_cut_value_additive_over_disjoint_graphs;
+    QCheck_alcotest.to_alcotest prop_cut_fwd_plus_bwd_is_symmetrized;
+    QCheck_alcotest.to_alcotest prop_symmetric_digraph_is_1_balanced;
+    QCheck_alcotest.to_alcotest prop_cut_bounded_by_total_weight;
+    QCheck_alcotest.to_alcotest prop_balance_of_complement_inverts;
+  ]

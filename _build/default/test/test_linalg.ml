@@ -1,0 +1,244 @@
+open Dcs
+
+(* --- Hadamard --- *)
+
+let test_h1 () =
+  let h = Hadamard.create 0 in
+  Alcotest.(check int) "order" 1 (Hadamard.order h);
+  Alcotest.(check int) "entry" 1 (Hadamard.entry h 0 0)
+
+let test_h2_explicit () =
+  let h = Hadamard.create 1 in
+  Alcotest.(check (array int)) "row 0" [| 1; 1 |] (Hadamard.row h 0);
+  Alcotest.(check (array int)) "row 1" [| 1; -1 |] (Hadamard.row h 1)
+
+let test_h4_explicit () =
+  let h = Hadamard.create 2 in
+  Alcotest.(check (array int)) "row 0" [| 1; 1; 1; 1 |] (Hadamard.row h 0);
+  Alcotest.(check (array int)) "row 1" [| 1; -1; 1; -1 |] (Hadamard.row h 1);
+  Alcotest.(check (array int)) "row 2" [| 1; 1; -1; -1 |] (Hadamard.row h 2);
+  Alcotest.(check (array int)) "row 3" [| 1; -1; -1; 1 |] (Hadamard.row h 3)
+
+let test_first_row_ones () =
+  for k = 0 to 6 do
+    let h = Hadamard.create k in
+    Array.iter
+      (fun v -> Alcotest.(check int) "all ones" 1 v)
+      (Hadamard.row h 0)
+  done
+
+let test_orthogonality () =
+  for k = 1 to 5 do
+    let h = Hadamard.create k in
+    let q = Hadamard.order h in
+    for i = 0 to q - 1 do
+      for j = 0 to q - 1 do
+        let expected = if i = j then q else 0 in
+        Alcotest.(check int) (Printf.sprintf "k=%d <H%d,H%d>" k i j) expected
+          (Hadamard.dot_rows h i j)
+      done
+    done
+  done
+
+let test_symmetry () =
+  let h = Hadamard.create 4 in
+  for i = 0 to 15 do
+    for j = 0 to 15 do
+      Alcotest.(check int) "symmetric" (Hadamard.entry h i j) (Hadamard.entry h j i)
+    done
+  done
+
+let test_fwht_matches_direct () =
+  let k = 3 in
+  let h = Hadamard.create k in
+  let q = Hadamard.order h in
+  let rng = Prng.create 5 in
+  for _ = 1 to 10 do
+    let v = Array.init q (fun _ -> Prng.float rng 2.0 -. 1.0) in
+    let direct =
+      Array.init q (fun i ->
+          let acc = ref 0.0 in
+          for j = 0 to q - 1 do
+            acc := !acc +. (float_of_int (Hadamard.entry h i j) *. v.(j))
+          done;
+          !acc)
+    in
+    let fast = Array.copy v in
+    Hadamard.fwht_in_place fast;
+    Array.iteri
+      (fun i x -> Alcotest.(check (float 1e-9)) "fwht = direct" direct.(i) x)
+      fast
+  done
+
+let test_fwht_involution () =
+  let q = 16 in
+  let rng = Prng.create 6 in
+  let v = Array.init q (fun _ -> Prng.float rng 1.0) in
+  let w = Array.copy v in
+  Hadamard.fwht_in_place w;
+  Hadamard.fwht_in_place w;
+  Array.iteri
+    (fun i x -> Alcotest.(check (float 1e-9)) "H(Hv) = q v" (float_of_int q *. v.(i)) x)
+    w
+
+let test_fwht_rejects_bad_length () =
+  Alcotest.check_raises "length" (Invalid_argument "Hadamard.fwht_in_place: length")
+    (fun () -> Hadamard.fwht_in_place (Array.make 3 0.0))
+
+(* --- Pm_vector --- *)
+
+let test_pm_validation () =
+  Alcotest.check_raises "bad entry" (Invalid_argument "Pm_vector.of_array")
+    (fun () -> ignore (Pm_vector.of_array [| 1; 0; -1 |]))
+
+let test_pm_dot_tensor () =
+  let u = Pm_vector.of_array [| 1; -1 |] in
+  let v = Pm_vector.of_array [| 1; 1; -1; -1 |] in
+  Alcotest.(check int) "self dot" 2 (Pm_vector.dot u u);
+  let t = Pm_vector.tensor u v in
+  Alcotest.(check (array int)) "tensor"
+    [| 1; 1; -1; -1; -1; -1; 1; 1 |] t;
+  Alcotest.(check int) "tensor sum" 0 (Pm_vector.sum t)
+
+let test_pm_supports () =
+  let v = Pm_vector.of_array [| 1; -1; 1; -1 |] in
+  Alcotest.(check (array int)) "positive" [| 0; 2 |] (Pm_vector.positive_support v);
+  Alcotest.(check (array int)) "negative" [| 1; 3 |] (Pm_vector.negative_support v);
+  Alcotest.(check bool) "balanced" true (Pm_vector.is_balanced v)
+
+let test_pm_dot_float () =
+  let v = Pm_vector.of_array [| 1; -1 |] in
+  Alcotest.(check (float 1e-9)) "dot_float" (-1.0) (Pm_vector.dot_float v [| 2.0; 3.0 |])
+
+(* --- Decode_matrix: the three conditions of Lemma 3.2 --- *)
+
+let test_lemma32_condition1_row_sums () =
+  for k = 1 to 4 do
+    let m = Decode_matrix.create ~k in
+    for t = 0 to Decode_matrix.rows m - 1 do
+      Alcotest.(check int) "row sums to 0" 0 (Pm_vector.sum (Decode_matrix.row m t))
+    done
+  done
+
+let test_lemma32_condition2_orthogonality () =
+  for k = 1 to 3 do
+    let m = Decode_matrix.create ~k in
+    let r = Decode_matrix.rows m in
+    for t = 0 to r - 1 do
+      for t' = t + 1 to r - 1 do
+        Alcotest.(check int) "orthogonal rows" 0
+          (Pm_vector.dot (Decode_matrix.row m t) (Decode_matrix.row m t'))
+      done
+    done
+  done
+
+let test_lemma32_condition3_tensor_balanced () =
+  for k = 1 to 4 do
+    let m = Decode_matrix.create ~k in
+    for t = 0 to Decode_matrix.rows m - 1 do
+      let u, v = Decode_matrix.row_factors m t in
+      Alcotest.(check bool) "u balanced" true (Pm_vector.is_balanced u);
+      Alcotest.(check bool) "v balanced" true (Pm_vector.is_balanced v);
+      Alcotest.(check (array int)) "row = u ⊗ v" (Pm_vector.tensor u v)
+        (Decode_matrix.row m t)
+    done
+  done
+
+let test_decode_matrix_shape () =
+  let m = Decode_matrix.create ~k:3 in
+  Alcotest.(check int) "q" 8 (Decode_matrix.q m);
+  Alcotest.(check int) "rows" 49 (Decode_matrix.rows m);
+  Alcotest.(check int) "cols" 64 (Decode_matrix.cols m);
+  Alcotest.(check int) "norm" 64 (Decode_matrix.row_norm_sq m)
+
+let test_superpose_matches_direct_sum () =
+  let m = Decode_matrix.create ~k:2 in
+  let rng = Prng.create 12 in
+  for _ = 1 to 20 do
+    let z = Array.init (Decode_matrix.rows m) (fun _ -> Prng.sign rng) in
+    let x = Decode_matrix.superpose m z in
+    let direct = Array.make (Decode_matrix.cols m) 0.0 in
+    Array.iteri
+      (fun t zt ->
+        let row = Decode_matrix.row m t in
+        Array.iteri
+          (fun c e -> direct.(c) <- direct.(c) +. float_of_int (zt * e))
+          row)
+      z;
+    Array.iteri
+      (fun c v -> Alcotest.(check (float 1e-9)) "superpose" direct.(c) v)
+      x
+  done
+
+let test_correlate_recovers_signs () =
+  (* The heart of the Section 3 decoding: ⟨superpose z, M_t⟩ = z_t · q². *)
+  let m = Decode_matrix.create ~k:3 in
+  let rng = Prng.create 23 in
+  for _ = 1 to 10 do
+    let z = Array.init (Decode_matrix.rows m) (fun _ -> Prng.sign rng) in
+    let x = Decode_matrix.superpose m z in
+    for t = 0 to Decode_matrix.rows m - 1 do
+      Alcotest.(check (float 1e-9)) "correlation"
+        (float_of_int (z.(t) * Decode_matrix.row_norm_sq m))
+        (Decode_matrix.correlate m x t)
+    done
+  done
+
+let test_correlate_orthogonal_noise () =
+  (* Adding a constant (all-ones direction) must not disturb correlations. *)
+  let m = Decode_matrix.create ~k:2 in
+  let rng = Prng.create 3 in
+  let z = Array.init (Decode_matrix.rows m) (fun _ -> Prng.sign rng) in
+  let x = Decode_matrix.superpose m z in
+  let shifted = Array.map (fun v -> v +. 42.0) x in
+  for t = 0 to Decode_matrix.rows m - 1 do
+    Alcotest.(check (float 1e-6)) "shift-invariant"
+      (float_of_int (z.(t) * Decode_matrix.row_norm_sq m))
+      (Decode_matrix.correlate m shifted t)
+  done
+
+(* qcheck property: Lemma 3.2 conditions for random row pairs at k = 4. *)
+let prop_rows_orthogonal_k4 =
+  QCheck.Test.make ~name:"decode matrix rows orthogonal (k=4)" ~count:200
+    QCheck.(pair (int_bound 224) (int_bound 224))
+    (fun (t, t') ->
+      let m = Decode_matrix.create ~k:4 in
+      let d = Pm_vector.dot (Decode_matrix.row m t) (Decode_matrix.row m t') in
+      if t = t' then d = Decode_matrix.row_norm_sq m else d = 0)
+
+let prop_superpose_correlate_roundtrip =
+  QCheck.Test.make ~name:"superpose/correlate roundtrip (k=3)" ~count:50
+    QCheck.(pair (int_bound 1000) (int_bound 48))
+    (fun (seed, t) ->
+      let m = Decode_matrix.create ~k:3 in
+      let rng = Prng.create seed in
+      let z = Array.init (Decode_matrix.rows m) (fun _ -> Prng.sign rng) in
+      let x = Decode_matrix.superpose m z in
+      let v = Decode_matrix.correlate m x t in
+      Float.abs (v -. float_of_int (z.(t) * 64)) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "hadamard: H_1" `Quick test_h1;
+    Alcotest.test_case "hadamard: H_2 explicit" `Quick test_h2_explicit;
+    Alcotest.test_case "hadamard: H_4 explicit" `Quick test_h4_explicit;
+    Alcotest.test_case "hadamard: first row ones" `Quick test_first_row_ones;
+    Alcotest.test_case "hadamard: orthogonality" `Quick test_orthogonality;
+    Alcotest.test_case "hadamard: symmetry" `Quick test_symmetry;
+    Alcotest.test_case "hadamard: fwht matches direct" `Quick test_fwht_matches_direct;
+    Alcotest.test_case "hadamard: fwht involution" `Quick test_fwht_involution;
+    Alcotest.test_case "hadamard: fwht bad length" `Quick test_fwht_rejects_bad_length;
+    Alcotest.test_case "pm_vector: validation" `Quick test_pm_validation;
+    Alcotest.test_case "pm_vector: dot/tensor" `Quick test_pm_dot_tensor;
+    Alcotest.test_case "pm_vector: supports" `Quick test_pm_supports;
+    Alcotest.test_case "pm_vector: dot_float" `Quick test_pm_dot_float;
+    Alcotest.test_case "lemma 3.2 (1): row sums" `Quick test_lemma32_condition1_row_sums;
+    Alcotest.test_case "lemma 3.2 (2): orthogonality" `Quick test_lemma32_condition2_orthogonality;
+    Alcotest.test_case "lemma 3.2 (3): tensor factors" `Quick test_lemma32_condition3_tensor_balanced;
+    Alcotest.test_case "decode matrix: shape" `Quick test_decode_matrix_shape;
+    Alcotest.test_case "decode matrix: superpose" `Quick test_superpose_matches_direct_sum;
+    Alcotest.test_case "decode matrix: correlate recovers" `Quick test_correlate_recovers_signs;
+    Alcotest.test_case "decode matrix: shift invariance" `Quick test_correlate_orthogonal_noise;
+    QCheck_alcotest.to_alcotest prop_rows_orthogonal_k4;
+    QCheck_alcotest.to_alcotest prop_superpose_correlate_roundtrip;
+  ]

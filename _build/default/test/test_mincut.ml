@@ -1,0 +1,376 @@
+open Dcs
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Stoer–Wagner --- *)
+
+let test_sw_two_nodes () =
+  let g = Ugraph.of_edges 2 [ (0, 1, 3.5) ] in
+  let v, c = Stoer_wagner.mincut g in
+  check_float "value" 3.5 v;
+  Alcotest.(check bool) "proper" true (Cut.is_proper c)
+
+let test_sw_path () =
+  (* Path with a light middle edge. *)
+  let g = Ugraph.of_edges 4 [ (0, 1, 5.0); (1, 2, 1.0); (2, 3, 5.0) ] in
+  let v, c = Stoer_wagner.mincut g in
+  check_float "value" 1.0 v;
+  check_float "witness value" 1.0 (Ugraph.cut_value g c)
+
+let test_sw_cycle () =
+  let g = Generators.cycle ~n:7 in
+  let v, _ = Stoer_wagner.mincut g in
+  check_float "cycle mincut = 2" 2.0 v
+
+let test_sw_complete () =
+  let g = Generators.complete ~n:6 in
+  let v, c = Stoer_wagner.mincut g in
+  check_float "K6 mincut = 5" 5.0 v;
+  Alcotest.(check int) "singleton side" 1
+    (min (Cut.cardinal c) (Cut.cardinal (Cut.complement c)))
+
+let test_sw_disconnected () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  let v, _ = Stoer_wagner.mincut g in
+  check_float "disconnected" 0.0 v
+
+let test_sw_weighted_planted () =
+  let rng = Prng.create 5 in
+  let g = Generators.planted_mincut rng ~block:15 ~k:4 ~p_inner:0.7 in
+  let v, c = Stoer_wagner.mincut g in
+  check_float "planted k" 4.0 v;
+  check_float "witness matches" v (Ugraph.cut_value g c)
+
+let test_sw_matches_brute () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 25 do
+    let g = Generators.erdos_renyi_connected rng ~n:9 ~p:0.3 in
+    let g = Generators.random_multigraph_weights rng g ~max_weight:5 in
+    let sw, swc = Stoer_wagner.mincut g in
+    let bf, _ = Brute.mincut_ugraph g in
+    check_float "sw = brute" bf sw;
+    check_float "witness = value" sw (Ugraph.cut_value g swc)
+  done
+
+(* --- Dinic --- *)
+
+let test_dinic_simple_st () =
+  (* 0 -> 1 cap 3, 0 -> 2 cap 2, 1 -> 3 cap 2, 2 -> 3 cap 3: max flow 4 *)
+  let g =
+    Digraph.of_edges 4 [ (0, 1, 3.0); (0, 2, 2.0); (1, 3, 2.0); (2, 3, 3.0) ]
+  in
+  let net = Dinic.of_digraph g in
+  check_float "maxflow" 4.0 (Dinic.maxflow net ~s:0 ~t:3)
+
+let test_dinic_bottleneck () =
+  let g = Digraph.of_edges 3 [ (0, 1, 10.0); (1, 2, 1.5) ] in
+  let net = Dinic.of_digraph g in
+  check_float "bottleneck" 1.5 (Dinic.maxflow net ~s:0 ~t:2)
+
+let test_dinic_no_path () =
+  let g = Digraph.of_edges 3 [ (1, 0, 1.0) ] in
+  let net = Dinic.of_digraph g in
+  check_float "no path" 0.0 (Dinic.maxflow net ~s:0 ~t:1)
+
+let test_dinic_repeated_runs_reset () =
+  let g = Digraph.of_edges 3 [ (0, 1, 2.0); (1, 2, 2.0) ] in
+  let net = Dinic.of_digraph g in
+  check_float "first" 2.0 (Dinic.maxflow net ~s:0 ~t:2);
+  check_float "second identical" 2.0 (Dinic.maxflow net ~s:0 ~t:2)
+
+let test_dinic_mincut_side () =
+  let g = Digraph.of_edges 4 [ (0, 1, 5.0); (1, 2, 1.0); (2, 3, 5.0) ] in
+  let net = Dinic.of_digraph g in
+  let f, side = Dinic.mincut_side net ~s:0 ~t:3 in
+  check_float "flow" 1.0 f;
+  Alcotest.(check bool) "s in side" true (Cut.mem side 0);
+  Alcotest.(check bool) "t not in side" false (Cut.mem side 3);
+  (* The side is a minimum s-t cut in the capacity graph. *)
+  check_float "cut value = flow" f (Cut.value g side)
+
+let test_dinic_maxflow_equals_brute_st_cut () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 15 do
+    let g = Generators.random_digraph rng ~n:7 ~p:0.4 ~max_weight:3.0 in
+    let net = Dinic.of_digraph g in
+    let flow = Dinic.maxflow net ~s:0 ~t:6 in
+    (* brute-force min s-t cut *)
+    let best = ref infinity in
+    for mask = 0 to (1 lsl 5) - 1 do
+      let mem v = v = 0 || (v < 6 && (mask lsr (v - 1)) land 1 = 1) in
+      let c = Cut.of_mem ~n:7 mem in
+      best := Float.min !best (Cut.value g c)
+    done;
+    check_float "maxflow = min st cut" !best flow
+  done
+
+let test_edge_connectivity_cycle () =
+  check_float "cycle" 2.0 (Dinic.edge_connectivity (Generators.cycle ~n:6))
+
+let test_edge_connectivity_complete () =
+  check_float "K5" 4.0 (Dinic.edge_connectivity (Generators.complete ~n:5))
+
+let test_edge_connectivity_matches_sw () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 10 do
+    let g = Generators.erdos_renyi_connected rng ~n:10 ~p:0.3 in
+    check_float "lambda = sw" (Stoer_wagner.mincut_value g) (Dinic.edge_connectivity g)
+  done
+
+let test_edge_disjoint_paths () =
+  let g = Generators.cycle ~n:8 in
+  Alcotest.(check int) "cycle: 2 paths" 2 (Dinic.edge_disjoint_paths g ~s:0 ~t:4);
+  let k = Generators.complete ~n:5 in
+  Alcotest.(check int) "K5: 4 paths" 4 (Dinic.edge_disjoint_paths k ~s:0 ~t:3)
+
+(* --- Karger --- *)
+
+let test_karger_run_once_upper_bound () =
+  let rng = Prng.create 9 in
+  let g = Generators.planted_mincut rng ~block:10 ~k:2 ~p_inner:0.8 in
+  let exact = Stoer_wagner.mincut_value g in
+  for _ = 1 to 20 do
+    let v, c = Karger.run_once rng g in
+    Alcotest.(check bool) "upper bound" true (v >= exact -. 1e-9);
+    check_float "witness consistent" v (Ugraph.cut_value g c)
+  done
+
+let test_karger_finds_planted () =
+  let rng = Prng.create 10 in
+  let g = Generators.planted_mincut rng ~block:10 ~k:2 ~p_inner:0.8 in
+  let v, _ = Karger.mincut rng ~trials:150 g in
+  check_float "finds min" (Stoer_wagner.mincut_value g) v
+
+let test_karger_candidates_sorted_and_bounded () =
+  let rng = Prng.create 11 in
+  let g = Generators.planted_mincut rng ~block:8 ~k:3 ~p_inner:0.8 in
+  let cands = Karger.candidate_cuts rng ~trials:100 ~factor:2.0 g in
+  Alcotest.(check bool) "nonempty" true (cands <> []);
+  let values = List.map fst cands in
+  let best = List.hd values in
+  List.iter
+    (fun v -> Alcotest.(check bool) "within factor" true (v <= (2.0 *. best) +. 1e-9))
+    values;
+  let rec sorted = function
+    | a :: b :: tl -> a <= b +. 1e-9 && sorted (b :: tl)
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted values)
+
+let test_karger_candidates_distinct () =
+  let rng = Prng.create 12 in
+  let g = Generators.cycle ~n:6 in
+  let cands = Karger.candidate_cuts rng ~trials:300 ~factor:1.0 g in
+  (* All min cuts of a cycle have value 2; check distinctness via values/cuts *)
+  let keys =
+    List.map
+      (fun (_, c) ->
+        let c = if Cut.mem c 0 then c else Cut.complement c in
+        Cut.to_list c)
+      cands
+  in
+  let sorted = List.sort_uniq compare keys in
+  Alcotest.(check int) "no duplicate cuts" (List.length keys) (List.length sorted)
+
+(* --- Karger–Stein --- *)
+
+let test_karger_stein_matches_sw () =
+  let rng = Prng.create 14 in
+  for _ = 1 to 8 do
+    let g = Generators.planted_mincut rng ~block:15 ~k:3 ~p_inner:0.6 in
+    let sw = Stoer_wagner.mincut_value g in
+    let ks, c = Karger_stein.mincut rng g in
+    check_float "ks = sw" sw ks;
+    check_float "witness consistent" ks (Ugraph.cut_value g c)
+  done
+
+let test_karger_stein_weighted () =
+  let rng = Prng.create 15 in
+  let g =
+    Generators.random_multigraph_weights rng
+      (Generators.erdos_renyi_connected rng ~n:25 ~p:0.3)
+      ~max_weight:7
+  in
+  let sw = Stoer_wagner.mincut_value g in
+  let ks, _ = Karger_stein.mincut ~runs:30 rng g in
+  check_float "weighted ks = sw" sw ks
+
+let test_karger_stein_run_once_upper_bound () =
+  let rng = Prng.create 16 in
+  let g = Generators.cycle ~n:12 in
+  for _ = 1 to 10 do
+    let v, c = Karger_stein.run_once rng g in
+    Alcotest.(check bool) "upper bound" true (v >= 2.0 -. 1e-9);
+    check_float "witness" v (Ugraph.cut_value g c)
+  done
+
+let test_karger_stein_two_nodes () =
+  let rng = Prng.create 17 in
+  let g = Ugraph.of_edges 2 [ (0, 1, 4.5) ] in
+  let v, _ = Karger_stein.mincut rng g in
+  check_float "trivial" 4.5 v
+
+(* --- Gomory–Hu --- *)
+
+let test_gh_path_graph () =
+  (* On a path, min u-v cut = lightest edge between them. *)
+  let g = Ugraph.of_edges 4 [ (0, 1, 5.0); (1, 2, 1.0); (2, 3, 3.0) ] in
+  let t = Gomory_hu.build g in
+  check_float "0-3" 1.0 (Gomory_hu.min_cut_value t 0 3);
+  check_float "0-1" 5.0 (Gomory_hu.min_cut_value t 0 1);
+  check_float "2-3" 3.0 (Gomory_hu.min_cut_value t 2 3)
+
+let test_gh_all_pairs_match_maxflow () =
+  let rng = Prng.create 18 in
+  for _ = 1 to 5 do
+    let g = Generators.erdos_renyi_connected rng ~n:10 ~p:0.3 in
+    let g = Generators.random_multigraph_weights rng g ~max_weight:4 in
+    let t = Gomory_hu.build g in
+    let net = Dinic.of_ugraph g in
+    for u = 0 to 9 do
+      for v = u + 1 to 9 do
+        check_float
+          (Printf.sprintf "pair %d-%d" u v)
+          (Dinic.maxflow net ~s:u ~t:v)
+          (Gomory_hu.min_cut_value t u v)
+      done
+    done
+  done
+
+let test_gh_witness_cuts_valid () =
+  let rng = Prng.create 19 in
+  let g = Generators.erdos_renyi_connected rng ~n:12 ~p:0.3 in
+  let t = Gomory_hu.build g in
+  for u = 0 to 11 do
+    for v = u + 1 to 11 do
+      let f, side = Gomory_hu.min_cut t u v in
+      Alcotest.(check bool) "separates" true (Cut.mem side u && not (Cut.mem side v));
+      check_float "witness value" f (Ugraph.cut_value g side)
+    done
+  done
+
+let test_gh_global_equals_sw () =
+  let rng = Prng.create 20 in
+  for _ = 1 to 5 do
+    let g = Generators.erdos_renyi_connected rng ~n:14 ~p:0.25 in
+    let t = Gomory_hu.build g in
+    let f, side = Gomory_hu.global_min_cut t in
+    check_float "global = sw" (Stoer_wagner.mincut_value g) f;
+    check_float "witness" f (Ugraph.cut_value g side)
+  done
+
+let test_gh_tree_has_n_minus_1_edges () =
+  let rng = Prng.create 21 in
+  let g = Generators.erdos_renyi_connected rng ~n:9 ~p:0.4 in
+  let t = Gomory_hu.build g in
+  Alcotest.(check int) "n-1 edges" 8 (List.length (Gomory_hu.tree_edges t))
+
+let test_gh_rejects_disconnected () =
+  let g = Ugraph.of_edges 4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Gomory_hu.build: graph must be connected") (fun () ->
+      ignore (Gomory_hu.build g))
+
+(* --- Brute --- *)
+
+let test_brute_digraph_min_direction () =
+  (* One heavy direction, one light: brute should report the light one. *)
+  let g = Digraph.of_edges 2 [ (0, 1, 9.0); (1, 0, 2.0) ] in
+  let v, _ = Brute.mincut_digraph g in
+  check_float "takes min direction" 2.0 v
+
+let test_brute_rejects_large () =
+  let g = Ugraph.create 30 in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Brute.mincut: need 2 <= n <= 24") (fun () ->
+      ignore (Brute.mincut_ugraph g))
+
+(* qcheck: min-cut values form an ultrametric-like structure on the GH tree:
+   mincut(u,w) >= min(mincut(u,v), mincut(v,w)). *)
+let prop_gh_ultrametric =
+  QCheck.Test.make ~name:"gomory-hu ultrametric inequality" ~count:20
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.erdos_renyi_connected rng ~n:9 ~p:0.35 in
+      let t = Gomory_hu.build g in
+      let u = Prng.int rng 9 and v = Prng.int rng 9 and w = Prng.int rng 9 in
+      u = v || v = w || u = w
+      || Gomory_hu.min_cut_value t u w
+         >= Float.min (Gomory_hu.min_cut_value t u v) (Gomory_hu.min_cut_value t v w)
+            -. 1e-9)
+
+(* qcheck: adding an edge never decreases the global min cut. *)
+let prop_sw_monotone_under_edge_addition =
+  QCheck.Test.make ~name:"min cut monotone under edge addition" ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.erdos_renyi_connected rng ~n:10 ~p:0.3 in
+      let before = Stoer_wagner.mincut_value g in
+      let u = Prng.int rng 10 and v = Prng.int rng 10 in
+      if u = v then true
+      else begin
+        let g' = Ugraph.copy g in
+        Ugraph.add_edge g' u v 1.5;
+        Stoer_wagner.mincut_value g' >= before -. 1e-9
+      end)
+
+(* qcheck: SW = brute on random weighted graphs *)
+let prop_sw_equals_brute =
+  QCheck.Test.make ~name:"stoer-wagner = brute force" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.erdos_renyi_connected rng ~n:8 ~p:0.35 in
+      let g = Generators.random_multigraph_weights rng g ~max_weight:4 in
+      Float.abs (Stoer_wagner.mincut_value g -. fst (Brute.mincut_ugraph g)) < 1e-9)
+
+let prop_edge_connectivity_equals_sw =
+  QCheck.Test.make ~name:"dinic edge connectivity = stoer-wagner" ~count:25
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.erdos_renyi_connected rng ~n:9 ~p:0.3 in
+      Float.abs (Dinic.edge_connectivity g -. Stoer_wagner.mincut_value g) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "sw: two nodes" `Quick test_sw_two_nodes;
+    Alcotest.test_case "sw: path" `Quick test_sw_path;
+    Alcotest.test_case "sw: cycle" `Quick test_sw_cycle;
+    Alcotest.test_case "sw: complete" `Quick test_sw_complete;
+    Alcotest.test_case "sw: disconnected" `Quick test_sw_disconnected;
+    Alcotest.test_case "sw: planted weighted" `Quick test_sw_weighted_planted;
+    Alcotest.test_case "sw: matches brute" `Quick test_sw_matches_brute;
+    Alcotest.test_case "dinic: simple s-t" `Quick test_dinic_simple_st;
+    Alcotest.test_case "dinic: bottleneck" `Quick test_dinic_bottleneck;
+    Alcotest.test_case "dinic: no path" `Quick test_dinic_no_path;
+    Alcotest.test_case "dinic: repeated runs reset" `Quick test_dinic_repeated_runs_reset;
+    Alcotest.test_case "dinic: mincut side" `Quick test_dinic_mincut_side;
+    Alcotest.test_case "dinic: maxflow = min s-t cut" `Quick test_dinic_maxflow_equals_brute_st_cut;
+    Alcotest.test_case "dinic: edge connectivity cycle" `Quick test_edge_connectivity_cycle;
+    Alcotest.test_case "dinic: edge connectivity complete" `Quick test_edge_connectivity_complete;
+    Alcotest.test_case "dinic: edge connectivity = sw" `Quick test_edge_connectivity_matches_sw;
+    Alcotest.test_case "dinic: edge disjoint paths" `Quick test_edge_disjoint_paths;
+    Alcotest.test_case "karger: run once upper bound" `Quick test_karger_run_once_upper_bound;
+    Alcotest.test_case "karger: finds planted" `Quick test_karger_finds_planted;
+    Alcotest.test_case "karger: candidates bounded/sorted" `Quick test_karger_candidates_sorted_and_bounded;
+    Alcotest.test_case "karger: candidates distinct" `Quick test_karger_candidates_distinct;
+    Alcotest.test_case "karger-stein: matches sw" `Quick test_karger_stein_matches_sw;
+    Alcotest.test_case "karger-stein: weighted" `Quick test_karger_stein_weighted;
+    Alcotest.test_case "karger-stein: upper bound" `Quick test_karger_stein_run_once_upper_bound;
+    Alcotest.test_case "karger-stein: two nodes" `Quick test_karger_stein_two_nodes;
+    Alcotest.test_case "gomory-hu: path graph" `Quick test_gh_path_graph;
+    Alcotest.test_case "gomory-hu: all pairs = maxflow" `Quick test_gh_all_pairs_match_maxflow;
+    Alcotest.test_case "gomory-hu: witness cuts" `Quick test_gh_witness_cuts_valid;
+    Alcotest.test_case "gomory-hu: global = sw" `Quick test_gh_global_equals_sw;
+    Alcotest.test_case "gomory-hu: tree size" `Quick test_gh_tree_has_n_minus_1_edges;
+    Alcotest.test_case "gomory-hu: rejects disconnected" `Quick test_gh_rejects_disconnected;
+    Alcotest.test_case "brute: digraph min direction" `Quick test_brute_digraph_min_direction;
+    Alcotest.test_case "brute: rejects large" `Quick test_brute_rejects_large;
+    QCheck_alcotest.to_alcotest prop_gh_ultrametric;
+    QCheck_alcotest.to_alcotest prop_sw_monotone_under_edge_addition;
+    QCheck_alcotest.to_alcotest prop_sw_equals_brute;
+    QCheck_alcotest.to_alcotest prop_edge_connectivity_equals_sw;
+  ]

@@ -1,0 +1,403 @@
+open Dcs
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Sketch interface / exact sketch --- *)
+
+let test_exact_sketch_is_exact () =
+  let rng = Prng.create 1 in
+  let g = Generators.random_digraph rng ~n:10 ~p:0.4 ~max_weight:3.0 in
+  let sk = Exact_sketch.create g in
+  for _ = 1 to 20 do
+    let c = Cut.random rng ~n:10 in
+    check_float "exact" (Cut.value g c) (sk.Sketch.query c)
+  done
+
+let test_exact_sketch_size_positive () =
+  let g = Digraph.of_edges 4 [ (0, 1, 1.0); (1, 2, 2.0) ] in
+  let sk = Exact_sketch.create g in
+  Alcotest.(check bool) "size > 2 * 64" true (sk.Sketch.size_bits > 128)
+
+let test_exact_sketch_independent_of_mutation () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0) ] in
+  let sk = Exact_sketch.create g in
+  Digraph.add_edge g 1 2 5.0;
+  let c = Cut.of_indices ~n:3 [ 0; 1 ] in
+  check_float "copy isolated" 0.0 (sk.Sketch.query c)
+
+let test_encoding_bits_monotone () =
+  let small = Digraph.of_edges 4 [ (0, 1, 1.0) ] in
+  let large = Digraph.of_edges 4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  Alcotest.(check bool) "more edges, more bits" true
+    (Sketch.digraph_encoding_bits large > Sketch.digraph_encoding_bits small)
+
+let test_relative_error () =
+  let g = Digraph.of_edges 2 [ (0, 1, 10.0) ] in
+  let sk =
+    { Sketch.name = "test"; size_bits = 0; query = (fun _ -> 11.0); graph = None }
+  in
+  let c = Cut.singleton ~n:2 0 in
+  check_float "10% error" 0.1 (Sketch.relative_error sk g c)
+
+(* --- Noisy oracle --- *)
+
+let test_noisy_oracle_bounds () =
+  let rng = Prng.create 2 in
+  let g = Generators.random_digraph rng ~n:8 ~p:0.5 ~max_weight:2.0 in
+  List.iter
+    (fun mode ->
+      let sk = Noisy_oracle.create ~mode rng ~eps:0.1 g in
+      for _ = 1 to 30 do
+        let c = Cut.random rng ~n:8 in
+        let truth = Cut.value g c in
+        let est = sk.Sketch.query c in
+        Alcotest.(check bool) "within (1±eps)" true
+          (est >= (0.9 *. truth) -. 1e-9 && est <= (1.1 *. truth) +. 1e-9)
+      done)
+    [ Noisy_oracle.Random; Noisy_oracle.Adversarial ]
+
+let test_noisy_oracle_deterministic_modes () =
+  let rng = Prng.create 3 in
+  let g = Digraph.of_edges 2 [ (0, 1, 10.0) ] in
+  let c = Cut.singleton ~n:2 0 in
+  let up = Noisy_oracle.create ~mode:Noisy_oracle.Deterministic_up rng ~eps:0.2 g in
+  check_float "up" 12.0 (up.Sketch.query c);
+  let down = Noisy_oracle.create ~mode:Noisy_oracle.Deterministic_down rng ~eps:0.2 g in
+  check_float "down" 8.0 (down.Sketch.query c)
+
+let test_noisy_oracle_zero_eps_exact () =
+  let rng = Prng.create 4 in
+  let g = Digraph.of_edges 2 [ (0, 1, 7.0) ] in
+  let sk = Noisy_oracle.create rng ~eps:0.0 g in
+  check_float "exact at eps 0" 7.0 (sk.Sketch.query (Cut.singleton ~n:2 0))
+
+(* --- Strength (Nagamochi–Ibaraki) --- *)
+
+let test_strength_tree_all_one () =
+  let g = Generators.path ~n:6 in
+  let s = Strength.compute g in
+  Strength.fold
+    (fun _ _ idx () -> Alcotest.(check int) "tree edges index 1" 1 idx)
+    s ()
+
+let test_strength_complete_graph () =
+  let g = Generators.complete ~n:6 in
+  let s = Strength.compute g in
+  (* K6 is 5-edge-connected; every NI index must be <= 5 and the max must
+     reach at least half of it. *)
+  Alcotest.(check bool) "max index <= 5" true (Strength.max_index s <= 5);
+  Alcotest.(check bool) "max index >= 2" true (Strength.max_index s >= 2);
+  Alcotest.(check int) "min index 1" 1 (Strength.min_index s)
+
+let test_strength_weighted_multiplicity () =
+  (* Two nodes, weight 7 edge: the edge survives 7 forests. *)
+  let g = Ugraph.of_edges 2 [ (0, 1, 7.0) ] in
+  let s = Strength.compute g in
+  Alcotest.(check int) "index = weight" 7 (Strength.index s 0 1)
+
+let test_strength_not_found () =
+  let g = Generators.path ~n:4 in
+  let s = Strength.compute g in
+  Alcotest.check_raises "non-edge" Not_found (fun () -> ignore (Strength.index s 0 3))
+
+let test_strength_max_rounds_cap () =
+  let g = Ugraph.of_edges 2 [ (0, 1, 100.0) ] in
+  let s = Strength.compute ~max_rounds:10 g in
+  Alcotest.(check int) "capped" 10 (Strength.index s 0 1);
+  Alcotest.(check int) "rounds used" 10 (Strength.rounds_used s)
+
+(* NI index lower-bounds local edge connectivity. *)
+let prop_strength_below_connectivity =
+  QCheck.Test.make ~name:"NI index <= local edge connectivity" ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.erdos_renyi_connected rng ~n:10 ~p:0.35 in
+      let s = Strength.compute g in
+      Strength.fold
+        (fun u v idx acc ->
+          acc && idx <= Dinic.edge_disjoint_paths g ~s:u ~t:v)
+        s true)
+
+(* --- Importance sampling --- *)
+
+let test_importance_keep_all () =
+  let rng = Prng.create 5 in
+  let g = Generators.erdos_renyi_connected rng ~n:12 ~p:0.3 in
+  let h = Importance.sample_ugraph rng ~prob:(fun _ _ _ -> 1.0) g in
+  Alcotest.(check bool) "identical" true (Ugraph.equal g h)
+
+let test_importance_drop_all () =
+  let rng = Prng.create 6 in
+  let g = Generators.erdos_renyi_connected rng ~n:12 ~p:0.3 in
+  let h = Importance.sample_ugraph rng ~prob:(fun _ _ _ -> 0.0) g in
+  Alcotest.(check int) "empty" 0 (Ugraph.m h)
+
+let test_importance_unbiased_cut () =
+  let rng = Prng.create 7 in
+  let g = Generators.complete ~n:14 in
+  let c = Cut.of_mem ~n:14 (fun v -> v < 7) in
+  let truth = Ugraph.cut_value g c in
+  let trials = 300 in
+  let acc = ref 0.0 in
+  for _ = 1 to trials do
+    let h = Importance.sample_ugraph rng ~prob:(fun _ _ _ -> 0.5) g in
+    acc := !acc +. Ugraph.cut_value h c
+  done;
+  let mean = !acc /. float_of_int trials in
+  Alcotest.(check bool) "unbiased within 5%" true
+    (Float.abs (mean -. truth) /. truth < 0.05)
+
+let test_importance_expected_edges () =
+  let g = Generators.complete ~n:10 in
+  Alcotest.(check (float 1e-9)) "expected edges"
+    22.5
+    (Importance.expected_edges_ugraph ~prob:(fun _ _ _ -> 0.5) g)
+
+let test_importance_digraph_weights_scaled () =
+  let rng = Prng.create 8 in
+  let g = Digraph.of_edges 2 [ (0, 1, 4.0) ] in
+  let h = Importance.sample_digraph rng ~prob:(fun _ _ _ -> 0.25) g in
+  if Digraph.m h = 1 then check_float "reweighted" 16.0 (Digraph.weight h 0 1)
+
+(* --- Benczúr–Karger --- *)
+
+let test_bk_preserves_cuts () =
+  let rng = Prng.create 9 in
+  (* Weighted dense graph so sampling actually triggers. *)
+  let g = Generators.random_multigraph_weights rng (Generators.complete ~n:40) ~max_weight:20 in
+  let eps = 0.3 in
+  let h = Benczur_karger.sparsify rng ~eps g in
+  let worst = ref 0.0 in
+  for _ = 1 to 40 do
+    let c = Cut.random rng ~n:40 in
+    let truth = Ugraph.cut_value g c in
+    let est = Ugraph.cut_value h c in
+    worst := Float.max !worst (Float.abs (est -. truth) /. truth)
+  done;
+  Alcotest.(check bool) "within eps on sampled cuts" true (!worst <= eps)
+
+let test_bk_sparsifies_dense_weighted () =
+  let rng = Prng.create 10 in
+  let g = Generators.random_multigraph_weights rng (Generators.complete ~n:60) ~max_weight:50 in
+  let h = Benczur_karger.sparsify rng ~eps:0.5 g in
+  Alcotest.(check bool) "fewer edges" true (Ugraph.m h < Ugraph.m g)
+
+let test_bk_sketch_size_matches_graph () =
+  let rng = Prng.create 11 in
+  let g = Generators.complete ~n:20 in
+  let sk = Benczur_karger.sketch rng ~eps:0.4 g in
+  Alcotest.(check bool) "graph-valued" true (sk.Sketch.graph <> None);
+  Alcotest.(check bool) "positive size" true (sk.Sketch.size_bits > 0)
+
+let test_bk_expected_edges_formula () =
+  let g = Generators.complete ~n:20 in
+  let e1 = Benczur_karger.expected_edges ~eps:0.2 g in
+  let e2 = Benczur_karger.expected_edges ~eps:0.4 g in
+  Alcotest.(check bool) "smaller eps, more edges" true (e1 >= e2)
+
+(* --- For-each sampler --- *)
+
+let test_foreach_sampler_cheaper_than_forall () =
+  let rng = Prng.create 12 in
+  let g = Generators.random_multigraph_weights rng (Generators.complete ~n:50) ~max_weight:40 in
+  let fa = Benczur_karger.expected_edges ~eps:0.3 g in
+  let fe = Foreach_sampler.expected_edges ~eps:0.3 g in
+  (* For-each drops the ln n union-bound oversampling. *)
+  Alcotest.(check bool) "for-each smaller" true (fe < fa)
+
+let test_foreach_sampler_accuracy_on_fixed_cut () =
+  let rng = Prng.create 13 in
+  let g = Generators.random_multigraph_weights rng (Generators.complete ~n:30) ~max_weight:30 in
+  let c = Cut.of_mem ~n:30 (fun v -> v < 15) in
+  let truth = Ugraph.cut_value g c in
+  let ok = ref 0 in
+  let trials = 60 in
+  for _ = 1 to trials do
+    let h = Foreach_sampler.sparsify rng ~eps:0.25 g in
+    if Float.abs (Ugraph.cut_value h c -. truth) /. truth <= 0.25 then incr ok
+  done;
+  (* For-each guarantee: each fixed cut within (1±O(eps)) w.p. >= 2/3. *)
+  Alcotest.(check bool) "success >= 2/3" true
+    (float_of_int !ok /. float_of_int trials >= 0.66)
+
+(* --- Directed sparsifiers --- *)
+
+let test_directed_forall_preserves_cuts () =
+  let rng = Prng.create 14 in
+  let g = Generators.balanced_digraph rng ~n:40 ~p:0.8 ~beta:2.0 ~max_weight:30.0 in
+  let sk = Directed_sparsifier.forall_sketch rng ~eps:0.3 ~beta:2.0 g in
+  let worst = ref 0.0 in
+  for _ = 1 to 30 do
+    let c = Cut.random rng ~n:40 in
+    worst := Float.max !worst (Sketch.relative_error sk g c)
+  done;
+  Alcotest.(check bool) "within eps" true (!worst <= 0.3)
+
+let test_directed_foreach_graph_valued () =
+  let rng = Prng.create 15 in
+  let g = Generators.balanced_digraph rng ~n:20 ~p:0.4 ~beta:4.0 ~max_weight:5.0 in
+  let sk = Directed_sparsifier.foreach_sketch rng ~eps:0.3 ~beta:4.0 g in
+  Alcotest.(check bool) "graph-valued" true (sk.Sketch.graph <> None)
+
+let test_directed_rejects_bad_params () =
+  let rng = Prng.create 16 in
+  let g = Generators.balanced_digraph rng ~n:10 ~p:0.3 ~beta:2.0 ~max_weight:2.0 in
+  Alcotest.check_raises "beta < 1" (Invalid_argument "Directed_sparsifier: beta >= 1")
+    (fun () -> ignore (Directed_sparsifier.forall_sparsify rng ~eps:0.3 ~beta:0.5 g))
+
+(* --- Imbalance decomposition --- *)
+
+let test_imbalance_decomposition_exact () =
+  (* (u(S) + Δ(S))/2 = w(S, V\S), identically, on arbitrary digraphs. *)
+  let rng = Prng.create 20 in
+  for _ = 1 to 20 do
+    let g = Generators.random_digraph rng ~n:12 ~p:0.4 ~max_weight:5.0 in
+    let c = Cut.random rng ~n:12 in
+    check_float "identity" (Cut.value g c) (Imbalance_sketch.exact_decomposition g c)
+  done
+
+let test_imbalance_delta_additive () =
+  let rng = Prng.create 21 in
+  let g = Generators.random_digraph rng ~n:10 ~p:0.4 ~max_weight:3.0 in
+  let imb = Imbalance_sketch.imbalances g in
+  let a = Cut.of_indices ~n:10 [ 1; 3 ] and b = Cut.of_indices ~n:10 [ 5; 7; 9 ] in
+  check_float "additive over disjoint unions"
+    (Imbalance_sketch.delta imb (Cut.union a b))
+    (Imbalance_sketch.delta imb a +. Imbalance_sketch.delta imb b)
+
+let test_imbalance_sketch_eulerian_zero_delta () =
+  (* β = 1 circulations: every imbalance is zero; directed sketching is
+     exactly undirected sketching. *)
+  let rng = Prng.create 22 in
+  let g = Eulerian.random_circulation rng ~n:14 ~cycles:8 ~max_weight:4.0 in
+  let imb = Imbalance_sketch.imbalances g in
+  Array.iter (fun b -> check_float "zero imbalance" 0.0 b) imb;
+  let sk = Imbalance_sketch.create rng ~eps:0.9 ~beta:1.0 g in
+  Alcotest.(check bool) "sketch built" true (sk.Sketch.size_bits > 0)
+
+let test_imbalance_sketch_accuracy () =
+  let rng = Prng.create 23 in
+  let beta = 2.0 in
+  let g = Generators.balanced_digraph rng ~n:40 ~p:0.8 ~beta ~max_weight:30.0 in
+  let eps = 0.6 in
+  let ok = ref 0 in
+  let trials = 40 in
+  for _ = 1 to trials do
+    let sk = Imbalance_sketch.create ~c:1.0 rng ~eps ~beta g in
+    let c = Cut.random rng ~n:40 in
+    let truth = Cut.value g c in
+    if truth > 0.0 && Float.abs (sk.Sketch.query c -. truth) <= eps *. truth then
+      incr ok
+  done;
+  (* for-each guarantee: each cut within (1±eps) with probability >= 2/3 *)
+  Alcotest.(check bool) "for-each accuracy" true
+    (float_of_int !ok /. float_of_int trials >= 0.67)
+
+let test_imbalance_sketch_exact_sampler_exact_answers () =
+  (* With eps_u so large the sampler keeps everything... instead force the
+     projection to survive intact by sparse graph: answers become exact. *)
+  let rng = Prng.create 24 in
+  let g = Generators.balanced_digraph rng ~n:12 ~p:0.2 ~beta:4.0 ~max_weight:2.0 in
+  let sk = Imbalance_sketch.create rng ~eps:0.9 ~beta:4.0 g in
+  (* sparse graph: strengths ~1, sampler keeps all edges -> exact *)
+  let c = Cut.random rng ~n:12 in
+  check_float "exact when nothing sampled away" (Cut.value g c) (sk.Sketch.query c)
+
+let prop_imbalance_identity =
+  QCheck.Test.make ~name:"directed cut = (u(S) + Δ(S))/2" ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.random_digraph rng ~n:9 ~p:0.5 ~max_weight:4.0 in
+      let c = Cut.random rng ~n:9 in
+      Float.abs (Cut.value g c -. Imbalance_sketch.exact_decomposition g c) < 1e-9)
+
+let test_median_boost_improves_success () =
+  let rng = Prng.create 17 in
+  let u =
+    Generators.random_multigraph_weights rng (Generators.complete ~n:24) ~max_weight:20
+  in
+  let c = Cut.of_mem ~n:24 (fun v -> v < 12) in
+  let truth = Ugraph.cut_value u c in
+  let eps = 0.3 in
+  let single_ok = ref 0 and boosted_ok = ref 0 in
+  let trials = 60 in
+  for _ = 1 to trials do
+    let mk () = Foreach_sampler.sketch ~c:1.0 rng ~eps u in
+    let single = mk () in
+    if Float.abs (single.Sketch.query c -. truth) <= eps *. truth then incr single_ok;
+    let boosted = Sketch.median_boost [ mk (); mk (); mk (); mk (); mk () ] in
+    if Float.abs (boosted.Sketch.query c -. truth) <= eps *. truth then incr boosted_ok
+  done;
+  Alcotest.(check bool) "median helps" true (!boosted_ok >= !single_ok);
+  Alcotest.(check bool) "boosted strong" true
+    (float_of_int !boosted_ok /. float_of_int trials >= 0.75)
+
+let test_median_boost_size_is_sum () =
+  let rng = Prng.create 18 in
+  let g = Generators.random_digraph rng ~n:8 ~p:0.5 ~max_weight:2.0 in
+  let parts = [ Exact_sketch.create g; Exact_sketch.create g; Exact_sketch.create g ] in
+  let b = Sketch.median_boost parts in
+  Alcotest.(check int) "sum of sizes"
+    (3 * (List.hd parts).Sketch.size_bits)
+    b.Sketch.size_bits
+
+(* Unbiasedness of the directed sampler on a fixed directed cut. *)
+let prop_directed_sampler_unbiased =
+  QCheck.Test.make ~name:"directed sampler unbiased on fixed cut" ~count:10
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Generators.balanced_digraph rng ~n:16 ~p:0.5 ~beta:2.0 ~max_weight:10.0 in
+      let c = Cut.random rng ~n:16 in
+      let truth = Cut.value g c in
+      let acc = ref 0.0 in
+      let trials = 400 in
+      for _ = 1 to trials do
+        let h = Directed_sparsifier.foreach_sparsify ~c:2.0 rng ~eps:0.9 ~beta:2.0 g in
+        acc := !acc +. Cut.value h c
+      done;
+      (* statistical tolerance: relative plus absolute slack *)
+      Float.abs ((!acc /. float_of_int trials) -. truth) < (0.15 *. truth) +. 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "exact sketch: exact" `Quick test_exact_sketch_is_exact;
+    Alcotest.test_case "exact sketch: size" `Quick test_exact_sketch_size_positive;
+    Alcotest.test_case "exact sketch: isolation" `Quick test_exact_sketch_independent_of_mutation;
+    Alcotest.test_case "sketch: encoding monotone" `Quick test_encoding_bits_monotone;
+    Alcotest.test_case "sketch: relative error" `Quick test_relative_error;
+    Alcotest.test_case "noisy oracle: bounds" `Quick test_noisy_oracle_bounds;
+    Alcotest.test_case "noisy oracle: deterministic" `Quick test_noisy_oracle_deterministic_modes;
+    Alcotest.test_case "noisy oracle: eps 0" `Quick test_noisy_oracle_zero_eps_exact;
+    Alcotest.test_case "strength: tree" `Quick test_strength_tree_all_one;
+    Alcotest.test_case "strength: complete graph" `Quick test_strength_complete_graph;
+    Alcotest.test_case "strength: weighted multiplicity" `Quick test_strength_weighted_multiplicity;
+    Alcotest.test_case "strength: not found" `Quick test_strength_not_found;
+    Alcotest.test_case "strength: max rounds cap" `Quick test_strength_max_rounds_cap;
+    QCheck_alcotest.to_alcotest prop_strength_below_connectivity;
+    Alcotest.test_case "importance: keep all" `Quick test_importance_keep_all;
+    Alcotest.test_case "importance: drop all" `Quick test_importance_drop_all;
+    Alcotest.test_case "importance: unbiased" `Quick test_importance_unbiased_cut;
+    Alcotest.test_case "importance: expected edges" `Quick test_importance_expected_edges;
+    Alcotest.test_case "importance: reweighting" `Quick test_importance_digraph_weights_scaled;
+    Alcotest.test_case "bk: preserves cuts" `Quick test_bk_preserves_cuts;
+    Alcotest.test_case "bk: sparsifies dense weighted" `Quick test_bk_sparsifies_dense_weighted;
+    Alcotest.test_case "bk: sketch shape" `Quick test_bk_sketch_size_matches_graph;
+    Alcotest.test_case "bk: expected edges monotone" `Quick test_bk_expected_edges_formula;
+    Alcotest.test_case "foreach sampler: cheaper than for-all" `Quick test_foreach_sampler_cheaper_than_forall;
+    Alcotest.test_case "foreach sampler: per-cut accuracy" `Quick test_foreach_sampler_accuracy_on_fixed_cut;
+    Alcotest.test_case "directed: for-all preserves cuts" `Quick test_directed_forall_preserves_cuts;
+    Alcotest.test_case "directed: for-each graph-valued" `Quick test_directed_foreach_graph_valued;
+    Alcotest.test_case "directed: param validation" `Quick test_directed_rejects_bad_params;
+    Alcotest.test_case "imbalance: exact decomposition" `Quick test_imbalance_decomposition_exact;
+    Alcotest.test_case "imbalance: delta additive" `Quick test_imbalance_delta_additive;
+    Alcotest.test_case "imbalance: eulerian zero delta" `Quick test_imbalance_sketch_eulerian_zero_delta;
+    Alcotest.test_case "imbalance: for-each accuracy" `Quick test_imbalance_sketch_accuracy;
+    Alcotest.test_case "imbalance: exact on sparse" `Quick test_imbalance_sketch_exact_sampler_exact_answers;
+    QCheck_alcotest.to_alcotest prop_imbalance_identity;
+    Alcotest.test_case "median boost: improves success" `Quick test_median_boost_improves_success;
+    Alcotest.test_case "median boost: size" `Quick test_median_boost_size_is_sum;
+    QCheck_alcotest.to_alcotest prop_directed_sampler_unbiased;
+  ]
