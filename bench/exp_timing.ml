@@ -73,8 +73,54 @@ let tests () =
           fun () -> ignore (Decode_matrix.superpose m z)));
   ]
 
+(* Wall-clock of the parallelized Karger trial loop vs domain count. The
+   mincut value/cut must be identical at every domain count (the Pool
+   determinism guarantee); wall-clock speedup tracks the physical cores
+   available, so on a single-core container every row times ~the same. *)
+let karger_parallel_table () =
+  let g =
+    Generators.erdos_renyi_connected (Prng.create 31415) ~n:200 ~p:0.05
+  in
+  let trials = 48 in
+  let time_run domains =
+    let rng = Prng.create 2718 in
+    let t0 = Unix.gettimeofday () in
+    let v, c = Karger.mincut ~domains rng ~trials g in
+    (Unix.gettimeofday () -. t0, v, c)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "parallel Karger trial loop: n=200, %d trials (recommended domains \
+            here: %d)"
+           trials
+           (Domain.recommended_domain_count ()))
+      ~columns:[ "domains"; "wall s"; "speedup"; "mincut"; "same as 1 domain" ]
+  in
+  let base_s, base_v, base_c = time_run 1 in
+  List.iter
+    (fun d ->
+      let s, v, c = if d = 1 then (base_s, base_v, base_c) else time_run d in
+      Table.add_row t
+        [
+          Table.fint d;
+          Printf.sprintf "%.3f" s;
+          Printf.sprintf "%.2fx" (base_s /. s);
+          Table.ffloat ~digits:1 v;
+          Table.fbool (v = base_v && Cut.equal c base_c);
+        ])
+    [ 1; 2; 4 ];
+  Table.print t;
+  Common.note
+    "every row must report the same cut: trial t draws from Prng.split(master, t)";
+  Common.note
+    "and the reduction runs in trial order, so DCS_DOMAINS only changes wall-clock."
+
 let run () =
   Common.section "E10  Timing — Bechamel micro-benchmarks (ns per run, OLS)";
+  karger_parallel_table ();
+  print_newline ();
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 1.0) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
   let t = Table.create ~title:"core operations" ~columns:[ "benchmark"; "ns/run"; "r²" ] in

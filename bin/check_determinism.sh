@@ -1,0 +1,43 @@
+#!/bin/sh
+# Determinism gate for the parallel trial engine: the whole test suite must
+# pass, and the experiment tables must be byte-identical, with DCS_DOMAINS=1
+# (sequential fallback) and DCS_DOMAINS=4 (parallel fan-out). Any divergence
+# means per-trial seed-splitting leaked scheduling into a result.
+#
+# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4)
+set -eu
+
+cd "$(dirname "$0")/.."
+experiments="${*:-E3 E4}"
+
+echo "== building =="
+dune build bench/main.exe test/main.exe
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Strip the wall-clock footers ("[E3 done in 1.2s]" and the total): timing
+# is the one thing allowed to differ between runs.
+run_bench () {
+    # shellcheck disable=SC2086
+    DCS_DOMAINS="$1" dune exec --no-build bench/main.exe -- --only $experiments \
+        | grep -v ' done in '
+}
+
+echo "== experiments ($experiments) with DCS_DOMAINS=1 =="
+run_bench 1 > "$tmpdir/domains1.out"
+echo "== experiments ($experiments) with DCS_DOMAINS=4 =="
+run_bench 4 > "$tmpdir/domains4.out"
+
+if ! diff -u "$tmpdir/domains1.out" "$tmpdir/domains4.out"; then
+    echo "FAIL: experiment output diverges between DCS_DOMAINS=1 and 4" >&2
+    exit 1
+fi
+echo "experiment tables byte-identical across domain counts"
+
+echo "== test suite with DCS_DOMAINS=1 =="
+DCS_DOMAINS=1 dune exec --no-build test/main.exe
+echo "== test suite with DCS_DOMAINS=4 =="
+DCS_DOMAINS=4 dune exec --no-build test/main.exe
+
+echo "OK: suite green and tables identical under DCS_DOMAINS=1 and 4"

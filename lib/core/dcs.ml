@@ -7,8 +7,8 @@
 
     {1 Substrates}
 
-    - {!Prng}, {!Stats}, {!Bits}, {!Table} — determinism, statistics, and
-      bit-level size accounting.
+    - {!Prng}, {!Pool}, {!Stats}, {!Bits}, {!Table} — determinism, the
+      parallel trial engine, statistics, and bit-level size accounting.
     - {!Hadamard}, {!Pm_vector}, {!Decode_matrix} — the Lemma 3.2 machinery.
     - {!Digraph}, {!Ugraph}, {!Cut}, {!Balance}, {!Generators},
       {!Traversal} — graphs and cuts.
@@ -37,6 +37,7 @@
       introduction. *)
 
 module Prng = Dcs_util.Prng
+module Pool = Dcs_util.Pool
 module Stats = Dcs_util.Stats
 module Bits = Dcs_util.Bits
 module Table = Dcs_util.Table

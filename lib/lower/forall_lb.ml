@@ -240,14 +240,16 @@ type trial_stats = {
   mean_sketch_bits : float;
 }
 
-let run_trials rng p ~sketch_of ~decoder ~trials =
+let run_trials ?domains rng p ~sketch_of ~decoder ~trials =
   if trials <= 0 then invalid_arg "Forall_lb.run_trials";
-  let correct = ref 0 in
-  let sketch_bits = ref 0.0 in
-  for _ = 1 to trials do
+  (* Same seed-splitting discipline as [Foreach_lb.run_trials]: trial [t]'s
+     randomness is a pure function of (master, t), so any domain count gives
+     the same stats. *)
+  let master = Prng.fork rng in
+  let one_trial t =
+    let rng = Prng.split master t in
     let inst = random_instance rng p in
     let sk = sketch_of rng inst in
-    sketch_bits := !sketch_bits +. float_of_int sk.Sketch.size_bits;
     let t = inst.gh.Gap_hamming.t in
     let decision =
       match decoder with
@@ -259,11 +261,16 @@ let run_trials rng p ~sketch_of ~decoder ~trials =
           | None ->
               invalid_arg "Forall_lb.run_trials: `Topk needs a graph-valued sketch")
     in
-    if decision = correct_decision inst then incr correct
-  done;
+    (decision = correct_decision inst, float_of_int sk.Sketch.size_bits)
+  in
+  let per_trial = Dcs_util.Pool.parallel_init ?domains ~n:trials one_trial in
+  let correct =
+    Array.fold_left (fun acc (ok, _) -> if ok then acc + 1 else acc) 0 per_trial
+  in
+  let sketch_bits = Array.fold_left (fun acc (_, b) -> acc +. b) 0.0 per_trial in
   {
     trials;
-    correct = !correct;
-    success_rate = float_of_int !correct /. float_of_int trials;
-    mean_sketch_bits = !sketch_bits /. float_of_int trials;
+    correct;
+    success_rate = float_of_int correct /. float_of_int trials;
+    mean_sketch_bits = sketch_bits /. float_of_int trials;
   }

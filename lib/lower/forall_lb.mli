@@ -129,6 +129,7 @@ type trial_stats = {
 }
 
 val run_trials :
+  ?domains:int ->
   Dcs_util.Prng.t ->
   params ->
   sketch_of:(Dcs_util.Prng.t -> instance -> Dcs_sketch.Sketch.t) ->
@@ -136,4 +137,6 @@ val run_trials :
   trials:int ->
   trial_stats
 (** Fresh instance per trial; decodes the planted pair. [`Topk] requires
-    the sketches to be graph-valued. *)
+    the sketches to be graph-valued. Trials run in parallel on [domains]
+    domains (default [Pool.domain_count ()]); per-trial [Prng.split]
+    streams keep the stats bit-identical for every domain count. *)

@@ -220,28 +220,35 @@ type trial_stats = {
   mean_sketch_bits : float;
 }
 
-let run_trials rng p ~sketch_of ~trials ~bits_per_trial =
+let run_trials ?domains rng p ~sketch_of ~trials ~bits_per_trial =
   if trials <= 0 || bits_per_trial <= 0 then invalid_arg "Foreach_lb.run_trials";
-  let correct = ref 0 in
-  let in_failed = ref 0 in
-  let sketch_bits = ref 0.0 in
-  for _ = 1 to trials do
+  (* Fork once so successive calls on the same rng see fresh streams, then
+     give trial [t] the pure child stream [split master t]: the per-trial
+     randomness depends only on (master, t), never on the domain count. *)
+  let master = Prng.fork rng in
+  let one_trial t =
+    let rng = Prng.split master t in
     let inst = random_instance rng p in
     let sk = sketch_of rng inst in
-    sketch_bits := !sketch_bits +. float_of_int sk.Sketch.size_bits;
+    let correct = ref 0 and in_failed = ref 0 in
     for _ = 1 to bits_per_trial do
       let q = Prng.int rng (bits_capacity p) in
       if failed_at inst q then incr in_failed;
       let r = decode_bit p ~query:sk.Sketch.query q in
       if r.decoded = inst.s.(q) then incr correct
-    done
-  done;
+    done;
+    (!correct, !in_failed, float_of_int sk.Sketch.size_bits)
+  in
+  let per_trial = Dcs_util.Pool.parallel_init ?domains ~n:trials one_trial in
+  let correct = Array.fold_left (fun acc (c, _, _) -> acc + c) 0 per_trial in
+  let in_failed = Array.fold_left (fun acc (_, f, _) -> acc + f) 0 per_trial in
+  let sketch_bits = Array.fold_left (fun acc (_, _, b) -> acc +. b) 0.0 per_trial in
   let total = trials * bits_per_trial in
   {
     trials;
     bits_tested = total;
-    correct = !correct;
-    success_rate = float_of_int !correct /. float_of_int total;
-    encode_failure_rate = float_of_int !in_failed /. float_of_int total;
-    mean_sketch_bits = !sketch_bits /. float_of_int trials;
+    correct;
+    success_rate = float_of_int correct /. float_of_int total;
+    encode_failure_rate = float_of_int in_failed /. float_of_int total;
+    mean_sketch_bits = sketch_bits /. float_of_int trials;
   }

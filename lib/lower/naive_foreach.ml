@@ -107,21 +107,26 @@ type trial_stats = {
   success_rate : float;
 }
 
-let run_trials rng p ~sketch_of ~trials ~bits_per_trial =
+let run_trials ?domains rng p ~sketch_of ~trials ~bits_per_trial =
   if trials <= 0 || bits_per_trial <= 0 then invalid_arg "Naive_foreach.run_trials";
-  let correct = ref 0 in
-  for _ = 1 to trials do
+  let master = Prng.fork rng in
+  let one_trial t =
+    let rng = Prng.split master t in
     let inst = random_instance rng p in
     let sk = sketch_of rng inst in
+    let correct = ref 0 in
     for _ = 1 to bits_per_trial do
       let q = Prng.int rng (bits_capacity p) in
       if decode_bit p ~query:sk.Sketch.query q = inst.s.(q) then incr correct
-    done
-  done;
+    done;
+    !correct
+  in
+  let per_trial = Dcs_util.Pool.parallel_init ?domains ~n:trials one_trial in
+  let correct = Array.fold_left ( + ) 0 per_trial in
   let total = trials * bits_per_trial in
   {
     trials;
     bits_tested = total;
-    correct = !correct;
-    success_rate = float_of_int !correct /. float_of_int total;
+    correct;
+    success_rate = float_of_int correct /. float_of_int total;
   }

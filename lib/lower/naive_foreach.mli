@@ -65,6 +65,7 @@ type trial_stats = {
 }
 
 val run_trials :
+  ?domains:int ->
   Dcs_util.Prng.t ->
   params ->
   sketch_of:(Dcs_util.Prng.t -> instance -> Dcs_sketch.Sketch.t) ->

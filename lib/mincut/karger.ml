@@ -68,12 +68,22 @@ let run_once rng g =
   let cut = Cut.of_mem ~n (fun v -> Uf.find uf v = rep) in
   (Ugraph.cut_value g cut, cut)
 
-let mincut rng ~trials g =
+(* Contraction runs are independent, so they fan out over domains: run [t]
+   draws from the pure child stream [split master t] (the graph is only
+   read), and the winner is picked sequentially in run order — first
+   strictly-smaller value wins, exactly as the sequential loop did. *)
+let parallel_runs ?domains rng ~trials g =
+  let master = Prng.fork rng in
+  Dcs_util.Pool.parallel_init ?domains ~n:trials (fun t ->
+      run_once (Prng.split master t) g)
+
+let mincut ?domains rng ~trials g =
   if trials < 1 then invalid_arg "Karger.mincut: trials >= 1";
-  let best = ref (run_once rng g) in
-  for _ = 2 to trials do
-    let v, c = run_once rng g in
-    if v < fst !best then best := (v, c)
+  let runs = parallel_runs ?domains rng ~trials g in
+  let best = ref runs.(0) in
+  for t = 1 to trials - 1 do
+    let v, _ = runs.(t) in
+    if v < fst !best then best := runs.(t)
   done;
   !best
 
@@ -83,16 +93,17 @@ let cut_key c =
   let c = if Cut.mem c 0 then c else Cut.complement c in
   String.concat "," (List.map string_of_int (Cut.to_list c))
 
-let candidate_cuts rng ~trials ~factor g =
+let candidate_cuts ?domains rng ~trials ~factor g =
   if factor < 1.0 then invalid_arg "Karger.candidate_cuts: factor >= 1";
+  let runs = parallel_runs ?domains rng ~trials g in
   let seen : (string, float * Cut.t) Hashtbl.t = Hashtbl.create 64 in
   let best = ref infinity in
-  for _ = 1 to trials do
-    let v, c = run_once rng g in
-    best := Float.min !best v;
-    let key = cut_key c in
-    if not (Hashtbl.mem seen key) then Hashtbl.add seen key (v, c)
-  done;
+  Array.iter
+    (fun (v, c) ->
+      best := Float.min !best v;
+      let key = cut_key c in
+      if not (Hashtbl.mem seen key) then Hashtbl.add seen key (v, c))
+    runs;
   Hashtbl.fold
     (fun _ (v, c) acc -> if v <= (factor *. !best) +. 1e-9 then (v, c) :: acc else acc)
     seen []

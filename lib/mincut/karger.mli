@@ -11,10 +11,19 @@ val run_once : Dcs_util.Prng.t -> Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
     super-vertices remain; returns that cut. Always an upper bound on the
     minimum cut. Requires n >= 2 and a connected graph. *)
 
-val mincut : Dcs_util.Prng.t -> trials:int -> Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
-(** Best cut over [trials] independent runs. *)
+val mincut :
+  ?domains:int ->
+  Dcs_util.Prng.t ->
+  trials:int ->
+  Dcs_graph.Ugraph.t ->
+  float * Dcs_graph.Cut.t
+(** Best cut over [trials] independent runs. Runs execute in parallel on
+    [domains] domains (default [Pool.domain_count ()], i.e. [DCS_DOMAINS]);
+    per-run [Prng.split] streams and an in-order reduction make the result
+    bit-identical for every domain count. *)
 
 val candidate_cuts :
+  ?domains:int ->
   Dcs_util.Prng.t ->
   trials:int ->
   factor:float ->
@@ -22,4 +31,5 @@ val candidate_cuts :
   (float * Dcs_graph.Cut.t) list
 (** Distinct cuts discovered across [trials] runs whose value is at most
     [factor] times the best value seen, sorted by value (cuts and their
-    complements are identified). *)
+    complements are identified). Same parallel execution and determinism
+    guarantee as {!mincut}. *)

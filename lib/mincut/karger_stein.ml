@@ -164,7 +164,7 @@ let run_once rng g =
   let cut = if Cut.is_proper cut then cut else Cut.singleton ~n 0 in
   (Ugraph.cut_value g cut, cut)
 
-let mincut ?runs rng g =
+let mincut ?domains ?runs rng g =
   let n = Ugraph.n g in
   let runs =
     match runs with
@@ -173,9 +173,17 @@ let mincut ?runs rng g =
         let l = int_of_float (Float.ceil (Dcs_util.Stats.log2 (float_of_int (max 2 n)))) in
         (l * l) + 1
   in
-  let best = ref (run_once rng g) in
-  for _ = 2 to runs do
-    let v, c = run_once rng g in
-    if v < fst !best then best := (v, c)
+  (* Independent recursive runs fan out over domains; run [t]'s stream is a
+     pure function of (master, t) and the min is taken in run order, so the
+     answer is bit-identical for every domain count. *)
+  let master = Prng.fork rng in
+  let results =
+    Dcs_util.Pool.parallel_init ?domains ~n:runs (fun t ->
+        run_once (Prng.split master t) g)
+  in
+  let best = ref results.(0) in
+  for t = 1 to runs - 1 do
+    let v, _ = results.(t) in
+    if v < fst !best then best := results.(t)
   done;
   !best

@@ -11,5 +11,12 @@ val run_once : Dcs_util.Prng.t -> Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
     a connected graph with n >= 2. *)
 
 val mincut :
-  ?runs:int -> Dcs_util.Prng.t -> Dcs_graph.Ugraph.t -> float * Dcs_graph.Cut.t
-(** Best of [runs] independent runs (default: ceil(log2 n)² + 1). *)
+  ?domains:int ->
+  ?runs:int ->
+  Dcs_util.Prng.t ->
+  Dcs_graph.Ugraph.t ->
+  float * Dcs_graph.Cut.t
+(** Best of [runs] independent runs (default: ceil(log2 n)² + 1), executed
+    in parallel on [domains] domains (default [Pool.domain_count ()]);
+    per-run [Prng.split] streams keep the result bit-identical for every
+    domain count. *)

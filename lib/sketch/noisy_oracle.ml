@@ -6,7 +6,7 @@ type mode = Random | Adversarial | Deterministic_up | Deterministic_down
 let create ?(mode = Adversarial) rng ~eps g =
   if eps < 0.0 || eps >= 1.0 then invalid_arg "Noisy_oracle.create: eps in [0,1)";
   let g = Dcs_graph.Digraph.copy g in
-  let rng = Prng.split rng in
+  let rng = Prng.fork rng in
   let factor () =
     match mode with
     | Random -> 1.0 +. (eps *. ((2.0 *. Prng.float rng 1.0) -. 1.0))

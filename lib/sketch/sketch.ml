@@ -53,8 +53,8 @@ let median_boost parts =
 let relative_error sk g s =
   let truth = Cut.value g s in
   let est = sk.query s in
-  if truth = 0.0 then if Float.abs est < 1e-12 then 0.0 else infinity
-  else Float.abs (est -. truth) /. truth
+  if truth = 0.0 then if est = 0.0 then 0.0 else infinity
+  else Float.abs (est -. truth) /. Float.abs truth
 
 let max_error_on sk g cuts =
   List.fold_left (fun acc s -> Float.max acc (relative_error sk g s)) 0.0 cuts

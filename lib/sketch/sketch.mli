@@ -23,8 +23,11 @@ val of_digraph : name:string -> size_bits:int -> Dcs_graph.Digraph.t -> t
 (** Graph-valued sketch: queries are exact cuts of the given graph. *)
 
 val relative_error : t -> Dcs_graph.Digraph.t -> Dcs_graph.Cut.t -> float
-(** |estimate - truth| / truth against a reference graph (0 when the true
-    cut is 0 and the estimate is 0; infinite if only the truth is 0). *)
+(** |estimate - truth| / |truth| against a reference graph. Zero-cut edge
+    cases are exact, not tolerance-based: 0 when the true cut is 0 and the
+    estimate is exactly 0; infinite if only the truth is 0 (any nonzero
+    estimate of a zero cut has unbounded relative error). A zero estimate
+    of a nonzero cut is the ordinary case with value 1. *)
 
 val max_error_on : t -> Dcs_graph.Digraph.t -> Dcs_graph.Cut.t list -> float
 

@@ -1,0 +1,61 @@
+let env_var = "DCS_DOMAINS"
+
+let domain_count () =
+  match Sys.getenv_opt env_var with
+  | None -> Domain.recommended_domain_count ()
+  | Some raw when String.trim raw = "" -> Domain.recommended_domain_count ()
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "%s must be a positive integer (got %S)" env_var raw))
+
+(* Chunk [c] of [chunks] over 0..n-1: contiguous, sizes differing by at most
+   one, low chunks take the remainder. *)
+let chunk_bounds ~n ~chunks c =
+  let base = n / chunks and extra = n mod chunks in
+  let lo = (c * base) + min c extra in
+  let hi = lo + base + if c < extra then 1 else 0 in
+  (lo, hi)
+
+let parallel_init ?domains ~n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: n must be nonnegative";
+  let d =
+    let d = match domains with Some d -> d | None -> domain_count () in
+    if d < 1 then invalid_arg "Pool.parallel_init: domains must be positive";
+    min d (max 1 n)
+  in
+  if d = 1 then Array.init n f
+  else begin
+    (* Slot [i] is written by exactly one domain and read only after the
+       joins, so the array needs no lock; [None] marks a task whose chunk
+       died before reaching it. *)
+    let results = Array.make n None in
+    let run_chunk c () =
+      let lo, hi = chunk_bounds ~n ~chunks:d c in
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f i)
+      done
+    in
+    let spawned = Array.init (d - 1) (fun c -> Domain.spawn (run_chunk (c + 1))) in
+    (* Chunk 0 runs in the calling domain; remember its exception (if any)
+       but always join every spawned domain before re-raising. *)
+    let first_exn = ref None in
+    (try run_chunk 0 () with e -> first_exn := Some e);
+    Array.iter
+      (fun dom ->
+        match Domain.join dom with
+        | () -> ()
+        | exception e -> if Option.is_none !first_exn then first_exn := Some e)
+      spawned;
+    (match !first_exn with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map ?domains f xs =
+  parallel_init ?domains ~n:(Array.length xs) (fun i -> f xs.(i))
+
+let parallel_init_sum ?domains ~n f =
+  let terms = parallel_init ?domains ~n f in
+  Array.fold_left ( +. ) 0.0 terms

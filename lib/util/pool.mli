@@ -1,0 +1,44 @@
+(** Domain-based parallel trial engine (stdlib [Domain] only, OCaml >= 5).
+
+    Every Monte Carlo experiment in this repo is a loop of independent
+    trials; this module fans such loops out over domains while keeping the
+    results {e bit-identical} for every domain count:
+
+    - each task [i] computes a pure function of its index (callers derive
+      per-task randomness with [Prng.split parent i]);
+    - results land in slot [i] of the output array regardless of which
+      domain ran the task;
+    - reductions (e.g. {!parallel_init_sum}) are performed sequentially in
+      index order after the join, so float non-associativity cannot leak
+      scheduling into the outcome.
+
+    The domain count defaults to the [DCS_DOMAINS] environment variable
+    when set ([Domain.recommended_domain_count ()] otherwise); a count of 1
+    runs the plain sequential loop in the calling domain with no spawns. *)
+
+val env_var : string
+(** ["DCS_DOMAINS"]. *)
+
+val domain_count : unit -> int
+(** The effective default domain count: [DCS_DOMAINS] if set and
+    non-empty (must parse as a positive integer, else
+    [Invalid_argument]), otherwise — including when set to the empty
+    string — [Domain.recommended_domain_count ()]. *)
+
+val parallel_init : ?domains:int -> n:int -> (int -> 'a) -> 'a array
+(** [parallel_init ~n f] is [Array.init n f] computed on [domains] domains
+    (default {!domain_count}), with indices 0..n-1 fanned out in [domains]
+    contiguous chunks over [Domain.spawn]. [f] must be safe to run
+    concurrently for distinct indices (no shared mutable state). If any
+    task raises, the first exception (lowest chunk) is re-raised in the
+    caller after all domains have been joined — no result is silently
+    dropped and no domain is left running. *)
+
+val parallel_map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f xs] is [Array.map f xs] with the same fan-out,
+    ordering, and exception contract as {!parallel_init}. *)
+
+val parallel_init_sum : ?domains:int -> n:int -> (int -> float) -> float
+(** [parallel_init_sum ~n f] is the sum of [f i] for [i] in 0..n-1: the
+    [f i] are evaluated in parallel, then accumulated left-to-right in
+    index order, so the result is bit-identical for every domain count. *)

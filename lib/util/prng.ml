@@ -37,9 +37,22 @@ let next_state t =
 
 let bits64 t = mix64 (next_state t)
 
-let split t =
+let fork t =
   let s = bits64 t in
   let g = mix_gamma (bits64 t) in
+  { state = s; gamma = g }
+
+(* Indexed split: a pure function of the parent's current (state, gamma) and
+   the task index, so a batch of tasks can derive their streams from one
+   frozen parent in any order — the foundation of the Pool determinism
+   guarantee (results independent of domain count and scheduling). Distinct
+   indices give distinct pre-mix states (golden_gamma is odd, so
+   (i+1)·golden_gamma is injective mod 2^64), and mix64 is a bijection. *)
+let split t i =
+  if i < 0 then invalid_arg "Prng.split: index must be nonnegative";
+  let z = Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1))) in
+  let s = mix64 (Int64.logxor z t.gamma) in
+  let g = mix_gamma (mix64 z) in
   { state = s; gamma = g }
 
 let bool t = Int64.logand (bits64 t) 1L = 1L

@@ -14,9 +14,19 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy continuing from the current state. *)
 
-val split : t -> t
-(** [split g] advances [g] and returns a generator whose future outputs are
-    independent of [g]'s (distinct gamma-derived stream). *)
+val fork : t -> t
+(** [fork g] advances [g] and returns a generator whose future outputs are
+    independent of [g]'s (distinct gamma-derived stream). Use when a single
+    sequential stream hands off a sub-stream and keeps going. *)
+
+val split : t -> int -> t
+(** [split g i] derives the [i]-th child stream of [g] without advancing
+    [g]: a pure function of [g]'s current state and the task index
+    [i >= 0]. Children for distinct indices are pairwise independent
+    (distinct SplitMix64 streams), and the same parent state and index
+    always yield the same child — this is what makes parallel trial fan-out
+    ({!Pool}) bit-identical for every [DCS_DOMAINS] setting: freeze a parent
+    with {!fork}, then give task [i] the stream [split parent i]. *)
 
 val bits64 : t -> int64
 (** Next raw 64 bits. *)

@@ -2,9 +2,11 @@ let () =
   Alcotest.run "dcs"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("linalg", Test_linalg.suite);
       ("graph", Test_graph.suite);
       ("mincut", Test_mincut.suite);
+      ("mincut-agreement", Test_mincut_agreement.suite);
       ("comm", Test_comm.suite);
       ("sketch", Test_sketch.suite);
       ("foreach_lb", Test_foreach_lb.suite);

@@ -426,6 +426,74 @@ let prop_cut_bounded_by_total_weight =
       let c = Cut.random rng ~n:10 in
       Cut.value g c +. Cut.value_rev g c <= Digraph.total_weight g +. 1e-9)
 
+let prop_complement_involution =
+  QCheck.Test.make ~name:"cut complement is an involution" ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 14 in
+      let c = Cut.random rng ~n in
+      let cc = Cut.complement (Cut.complement c) in
+      Cut.equal c cc
+      && Cut.cardinal c + Cut.cardinal (Cut.complement c) = n
+      && Cut.is_proper (Cut.complement c))
+
+(* The crossing/internal partition identity: on any digraph,
+   w(S,S̄) + w(S̄,S) + w(S,S) + w(S̄,S̄) = total weight. *)
+let prop_cut_partition_identity =
+  QCheck.Test.make ~name:"crossing + internal weight = total weight" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 9 in
+      let g = Generators.random_digraph rng ~n ~p:0.4 ~max_weight:5.0 in
+      let c = Cut.random rng ~n in
+      let internal = ref 0.0 in
+      Digraph.iter_edges g (fun u v w ->
+          if Cut.mem c u = Cut.mem c v then internal := !internal +. w);
+      Float.abs
+        (Cut.value g c +. Cut.value_rev g c +. !internal
+        -. Digraph.total_weight g)
+      < 1e-9)
+
+(* On the complete unit digraph the identity has a closed form: both
+   directions carry exactly |S|·|S̄|, so the crossing weight is
+   2|S|(n-|S|) = n(n-1) - |S|(|S|-1) - |S̄|(|S̄|-1), i.e. total weight
+   minus the two internal cliques. *)
+let prop_complete_digraph_crossing_closed_form =
+  QCheck.Test.make ~name:"complete digraph: value + value_rev closed form"
+    ~count:30
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 8 in
+      let g = Digraph.create n in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then Digraph.add_edge g u v 1.0
+        done
+      done;
+      let c = Cut.random rng ~n in
+      let k = Cut.cardinal c in
+      let fk = float_of_int k and fr = float_of_int (n - k) in
+      Float.abs (Cut.value g c -. (fk *. fr)) < 1e-9
+      && Float.abs (Cut.value_rev g c -. (fk *. fr)) < 1e-9
+      && Float.abs
+           (Cut.value g c +. Cut.value_rev g c
+           -. (Digraph.total_weight g
+              -. (fk *. (fk -. 1.0))
+              -. (fr *. (fr -. 1.0))))
+         < 1e-9)
+
+let prop_ugraph_serialize_roundtrip =
+  QCheck.Test.make ~name:"ugraph serialization round-trips exactly" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g0 = Generators.erdos_renyi_connected rng ~n:11 ~p:0.3 in
+      let g = Generators.random_multigraph_weights rng g0 ~max_weight:9 in
+      Ugraph.equal g (Serialize.ugraph_of_string (Serialize.ugraph_to_string g)))
+
 let prop_balance_of_complement_inverts =
   QCheck.Test.make ~name:"balance(S) * balance(S̄) = 1" ~count:50
     QCheck.(int_bound 10000)
@@ -493,6 +561,10 @@ let suite =
     Alcotest.test_case "serialize: digraph roundtrip" `Quick test_serialize_digraph_roundtrip_small;
     Alcotest.test_case "serialize: empty" `Quick test_serialize_empty_graph;
     QCheck_alcotest.to_alcotest prop_serialize_roundtrip;
+    QCheck_alcotest.to_alcotest prop_complement_involution;
+    QCheck_alcotest.to_alcotest prop_cut_partition_identity;
+    QCheck_alcotest.to_alcotest prop_complete_digraph_crossing_closed_form;
+    QCheck_alcotest.to_alcotest prop_ugraph_serialize_roundtrip;
     QCheck_alcotest.to_alcotest prop_cut_value_additive_over_disjoint_graphs;
     QCheck_alcotest.to_alcotest prop_cut_fwd_plus_bwd_is_symmetrized;
     QCheck_alcotest.to_alcotest prop_symmetric_digraph_is_1_balanced;

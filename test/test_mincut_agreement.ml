@@ -1,0 +1,141 @@
+(* Cross-solver equivalence: every global min-cut algorithm in the library
+   is an independent implementation of the same quantity, so on random
+   weighted graphs they must all agree — Dinic (min over s-t max-flows),
+   Stoer-Wagner, Gomory-Hu (lightest tree edge), and brute-force
+   enumeration exactly; Karger and Karger-Stein with probability checked
+   over seeds. Any solver drifting from the pack fails here with the seed
+   that exposes it. *)
+
+open Dcs
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Random connected graph with integer weights in 1..max_weight; n small
+   enough for Brute. *)
+let random_weighted_graph rng ~n ~p ~max_weight =
+  let g = Generators.erdos_renyi_connected rng ~n ~p in
+  Generators.random_multigraph_weights rng g ~max_weight
+
+(* Global min cut via Dinic: the minimum cut separates vertex 0 from some
+   other vertex, so it is the min over t <> 0 of the 0-t max-flow. *)
+let dinic_global_mincut g =
+  let net = Dinic.of_ugraph g in
+  let best = ref infinity and side = ref None in
+  for t = 1 to Ugraph.n g - 1 do
+    let f, s = Dinic.mincut_side net ~s:0 ~t in
+    if f < !best then begin
+      best := f;
+      side := Some s
+    end
+  done;
+  (!best, Option.get !side)
+
+let test_exact_solvers_agree () =
+  let rng = Prng.create 101 in
+  for trial = 1 to 20 do
+    let n = 6 + Prng.int rng 5 in
+    let g = random_weighted_graph rng ~n ~p:0.35 ~max_weight:6 in
+    let ctx = Printf.sprintf "trial %d (n=%d)" trial n in
+    let bf, _ = Brute.mincut_ugraph g in
+    let sw, sw_cut = Stoer_wagner.mincut g in
+    let dv, d_cut = dinic_global_mincut g in
+    let ghv, gh_cut = Gomory_hu.global_min_cut (Gomory_hu.build g) in
+    check_float (ctx ^ ": stoer-wagner = brute") bf sw;
+    check_float (ctx ^ ": dinic = brute") bf dv;
+    check_float (ctx ^ ": gomory-hu = brute") bf ghv;
+    (* Every witness actually achieves the claimed value on g. *)
+    check_float (ctx ^ ": sw witness") sw (Ugraph.cut_value g sw_cut);
+    check_float (ctx ^ ": dinic witness") dv (Ugraph.cut_value g d_cut);
+    check_float (ctx ^ ": gomory-hu witness") ghv (Ugraph.cut_value g gh_cut)
+  done
+
+let test_randomized_solvers_agree_whp () =
+  (* Karger (150 trials) and Karger-Stein (default runs) each find the true
+     minimum with high probability on these sizes; across 12 seeds demand
+     near-perfect agreement and never a value below the truth. *)
+  let rng = Prng.create 202 in
+  let seeds = 12 in
+  let karger_hits = ref 0 and ks_hits = ref 0 in
+  for seed = 1 to seeds do
+    let g = random_weighted_graph rng ~n:12 ~p:0.3 ~max_weight:5 in
+    let truth, _ = Brute.mincut_ugraph g in
+    let kv, kc = Karger.mincut (Prng.create (1000 + seed)) ~trials:150 g in
+    let ksv, ksc = Karger_stein.mincut (Prng.create (2000 + seed)) g in
+    let ctx = Printf.sprintf "seed %d" seed in
+    Alcotest.(check bool) (ctx ^ ": karger upper bound") true (kv >= truth -. 1e-9);
+    Alcotest.(check bool) (ctx ^ ": ks upper bound") true (ksv >= truth -. 1e-9);
+    check_float (ctx ^ ": karger witness") kv (Ugraph.cut_value g kc);
+    check_float (ctx ^ ": ks witness") ksv (Ugraph.cut_value g ksc);
+    if Float.abs (kv -. truth) < 1e-9 then incr karger_hits;
+    if Float.abs (ksv -. truth) < 1e-9 then incr ks_hits
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "karger agreement %d/%d" !karger_hits seeds)
+    true
+    (!karger_hits >= seeds - 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "karger-stein agreement %d/%d" !ks_hits seeds)
+    true
+    (!ks_hits >= seeds - 1)
+
+let test_structured_families () =
+  (* Families with known min cuts: all solvers, closed-form answer. *)
+  let families =
+    [
+      ("cycle n=9", Generators.cycle ~n:9, 2.0);
+      ("complete n=7", Generators.complete ~n:7, 6.0);
+      ("hypercube d=3", Generators.hypercube ~dim:3, 3.0);
+      ("grid 3x4", Generators.grid ~rows:3 ~cols:4, 2.0);
+    ]
+  in
+  List.iter
+    (fun (name, g, expected) ->
+      check_float (name ^ ": stoer-wagner") expected (Stoer_wagner.mincut_value g);
+      check_float (name ^ ": dinic") expected (fst (dinic_global_mincut g));
+      check_float (name ^ ": gomory-hu") expected
+        (fst (Gomory_hu.global_min_cut (Gomory_hu.build g)));
+      check_float (name ^ ": brute") expected (fst (Brute.mincut_ugraph g));
+      let kv, _ = Karger.mincut (Prng.create 77) ~trials:200 g in
+      check_float (name ^ ": karger") expected kv)
+    families
+
+(* qcheck: the four exact solvers agree on arbitrary random weighted
+   graphs (seed-driven shrinkable instances, complementing the fixed-seed
+   loop above). *)
+let prop_exact_agreement =
+  QCheck.Test.make ~name:"exact global min-cut solvers agree" ~count:30
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = random_weighted_graph rng ~n:8 ~p:0.4 ~max_weight:4 in
+      let bf, _ = Brute.mincut_ugraph g in
+      let sw = Stoer_wagner.mincut_value g in
+      let dv, _ = dinic_global_mincut g in
+      let ghv, _ = Gomory_hu.global_min_cut (Gomory_hu.build g) in
+      Float.abs (sw -. bf) < 1e-9
+      && Float.abs (dv -. bf) < 1e-9
+      && Float.abs (ghv -. bf) < 1e-9)
+
+(* qcheck: a Karger candidate enumeration at factor >= 1 always contains a
+   witness of the exact minimum when the trial budget is generous. *)
+let prop_karger_candidates_contain_minimum =
+  QCheck.Test.make ~name:"karger candidates contain the minimum" ~count:15
+    QCheck.(int_bound 1000000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = random_weighted_graph rng ~n:9 ~p:0.4 ~max_weight:3 in
+      let truth, _ = Brute.mincut_ugraph g in
+      let cands = Karger.candidate_cuts (Prng.create (seed + 1)) ~trials:200 ~factor:1.5 g in
+      List.exists (fun (v, _) -> Float.abs (v -. truth) < 1e-9) cands)
+
+let suite =
+  [
+    Alcotest.test_case "agreement: exact solvers, random graphs" `Quick
+      test_exact_solvers_agree;
+    Alcotest.test_case "agreement: randomized solvers whp" `Quick
+      test_randomized_solvers_agree_whp;
+    Alcotest.test_case "agreement: structured families" `Quick
+      test_structured_families;
+    QCheck_alcotest.to_alcotest prop_exact_agreement;
+    QCheck_alcotest.to_alcotest prop_karger_candidates_contain_minimum;
+  ]

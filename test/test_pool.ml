@@ -1,0 +1,262 @@
+(* The parallel trial engine's regression net: (a) parallel == sequential
+   for every domain count we care about, (b) seed-split streams are
+   reproducible and pairwise non-colliding, (c) exceptions raised inside a
+   domain propagate to the caller instead of hanging or vanishing. *)
+
+open Dcs
+
+let domain_counts = [ 1; 2; 4 ]
+
+(* --- (a) parallel results equal sequential results --- *)
+
+let test_parallel_init_matches_sequential () =
+  let f i = (i * 31) + (i mod 7) in
+  let expected = Array.init 103 f in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" d)
+        expected
+        (Pool.parallel_init ~domains:d ~n:103 f))
+    domain_counts
+
+let test_parallel_init_edge_sizes () =
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "n=0, domains=%d" d)
+        [||]
+        (Pool.parallel_init ~domains:d ~n:0 (fun i -> i));
+      Alcotest.(check (array int))
+        (Printf.sprintf "n=1, domains=%d" d)
+        [| 0 |]
+        (Pool.parallel_init ~domains:d ~n:1 (fun i -> i));
+      (* more domains than tasks *)
+      Alcotest.(check (array int))
+        (Printf.sprintf "n=3, domains=%d" d)
+        [| 0; 2; 4 |]
+        (Pool.parallel_init ~domains:d ~n:3 (fun i -> 2 * i)))
+    domain_counts
+
+let test_parallel_map_matches_sequential () =
+  let xs = Array.init 57 (fun i -> float_of_int i /. 3.0) in
+  let f x = (x *. x) -. 1.5 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "domains=%d" d)
+        expected
+        (Pool.parallel_map ~domains:d f xs))
+    domain_counts
+
+let test_parallel_init_sum_bit_identical () =
+  (* Terms of wildly different magnitudes: any reassociation of the float
+     sum would show up as an inequality under exact comparison. *)
+  let f i = Float.ldexp 1.0 ((i mod 40) - 20) +. (float_of_int i *. 1e-7) in
+  let seq = ref 0.0 in
+  for i = 0 to 999 do
+    seq := !seq +. f i
+  done;
+  List.iter
+    (fun d ->
+      let par = Pool.parallel_init_sum ~domains:d ~n:1000 f in
+      Alcotest.(check bool)
+        (Printf.sprintf "exactly equal at domains=%d" d)
+        true
+        (Float.equal !seq par))
+    domain_counts
+
+(* The wired-through trial loops: the same seed must give byte-identical
+   stats at every domain count. *)
+
+let test_foreach_trials_domain_invariant () =
+  let p = Foreach_lb.make_params ~beta:1 ~inv_eps:4 16 in
+  let stats d =
+    Foreach_lb.run_trials ~domains:d (Prng.create 42) p
+      ~sketch_of:(fun _ inst -> Exact_sketch.create inst.Foreach_lb.graph)
+      ~trials:6 ~bits_per_trial:10
+  in
+  let reference = stats 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "identical stats at domains=%d" d)
+        true
+        (stats d = reference))
+    domain_counts
+
+let test_forall_trials_domain_invariant () =
+  let p = Forall_lb.make_params ~beta:1 ~inv_eps_sq:8 16 in
+  let stats d =
+    Forall_lb.run_trials ~domains:d (Prng.create 43) p
+      ~sketch_of:(fun _ inst -> Exact_sketch.create inst.Forall_lb.graph)
+      ~decoder:`Topk ~trials:8
+  in
+  let reference = stats 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "identical stats at domains=%d" d)
+        true
+        (stats d = reference))
+    domain_counts
+
+let test_karger_domain_invariant () =
+  let g =
+    Generators.erdos_renyi_connected (Prng.create 44) ~n:40 ~p:0.15
+  in
+  let run d = Karger.mincut ~domains:d (Prng.create 45) ~trials:24 g in
+  let v1, c1 = run 1 in
+  List.iter
+    (fun d ->
+      let v, c = run d in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "value, domains=%d" d) v1 v;
+      Alcotest.(check bool)
+        (Printf.sprintf "cut, domains=%d" d)
+        true (Cut.equal c1 c))
+    domain_counts;
+  let cands d =
+    Karger.candidate_cuts ~domains:d (Prng.create 46) ~trials:30 ~factor:2.0 g
+    |> List.map (fun (v, c) -> (v, Cut.to_list c))
+  in
+  let reference = cands 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "candidates, domains=%d" d)
+        true
+        (cands d = reference))
+    domain_counts
+
+let test_karger_stein_domain_invariant () =
+  let g =
+    Generators.erdos_renyi_connected (Prng.create 47) ~n:24 ~p:0.25
+  in
+  let run d = Karger_stein.mincut ~domains:d ~runs:6 (Prng.create 48) g in
+  let v1, c1 = run 1 in
+  List.iter
+    (fun d ->
+      let v, c = run d in
+      Alcotest.(check (float 0.0)) (Printf.sprintf "value, domains=%d" d) v1 v;
+      Alcotest.(check bool)
+        (Printf.sprintf "cut, domains=%d" d)
+        true (Cut.equal c1 c))
+    domain_counts
+
+(* --- (b) seed-split streams: reproducible, parent-preserving, disjoint --- *)
+
+let test_split_reproducible () =
+  let draws g = Array.init 16 (fun _ -> Prng.bits64 g) in
+  let parent = Prng.create 7 in
+  let a = draws (Prng.split parent 5) in
+  let b = draws (Prng.split parent 5) in
+  Alcotest.(check (array int64)) "same index, same stream" a b
+
+let test_split_pure_in_parent () =
+  let a = Prng.create 11 and b = Prng.create 11 in
+  for i = 0 to 9 do
+    ignore (Prng.split a i)
+  done;
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "parent unchanged by split" (Prng.bits64 b)
+      (Prng.bits64 a)
+  done
+
+let test_split_streams_pairwise_non_colliding () =
+  let parent = Prng.create 13 in
+  let children = 64 and draws = 8 in
+  (* All (child, draw) outputs distinct: 512 values of 64 bits colliding
+     would be a one-in-10^13 event for independent streams, and any
+     systematic overlap between sibling streams lands here immediately. *)
+  let seen = Hashtbl.create (children * draws) in
+  for i = 0 to children - 1 do
+    let g = Prng.split parent i in
+    for _ = 1 to draws do
+      let v = Prng.bits64 g in
+      Alcotest.(check bool)
+        (Printf.sprintf "no collision (child %d)" i)
+        false (Hashtbl.mem seen v);
+      Hashtbl.replace seen v ()
+    done
+  done
+
+let test_split_differs_from_parent_continuation () =
+  let parent = Prng.create 17 in
+  let child = Prng.split parent 0 in
+  let xs = Array.init 32 (fun _ -> Prng.bits64 parent) in
+  let ys = Array.init 32 (fun _ -> Prng.bits64 child) in
+  Alcotest.(check bool) "child is not the parent stream" true (xs <> ys)
+
+let test_split_rejects_negative () =
+  let g = Prng.create 19 in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Prng.split: index must be nonnegative") (fun () ->
+      ignore (Prng.split g (-1)))
+
+(* --- (c) exception propagation --- *)
+
+let test_exception_propagates () =
+  List.iter
+    (fun d ->
+      Alcotest.check_raises
+        (Printf.sprintf "raises at domains=%d" d)
+        (Failure "boom") (fun () ->
+          ignore
+            (Pool.parallel_init ~domains:d ~n:16 (fun i ->
+                 if i = 11 then failwith "boom" else i))))
+    domain_counts
+
+let test_exception_joins_all_domains () =
+  (* A failure in the calling domain's chunk must still join the spawned
+     domains: every task outside the failing one has run (its side effect
+     is visible) by the time the exception reaches the caller. With 16
+     tasks on 4 domains the calling domain owns tasks 0-3, so failing at
+     task 3 leaves the other 15 tasks complete. *)
+  let hit = Array.make 16 0 in
+  (try
+     ignore
+       (Pool.parallel_init ~domains:4 ~n:16 (fun i ->
+            if i = 3 then failwith "early";
+            hit.(i) <- 1;
+            i))
+   with Failure _ -> ());
+  let finished = Array.fold_left ( + ) 0 hit in
+  Alcotest.(check int) "all other tasks completed" 15 finished
+
+let test_domain_count_positive () =
+  Alcotest.(check bool) "at least one domain" true (Pool.domain_count () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "pool: parallel_init = sequential" `Quick
+      test_parallel_init_matches_sequential;
+    Alcotest.test_case "pool: edge sizes" `Quick test_parallel_init_edge_sizes;
+    Alcotest.test_case "pool: parallel_map = sequential" `Quick
+      test_parallel_map_matches_sequential;
+    Alcotest.test_case "pool: sum bit-identical across domains" `Quick
+      test_parallel_init_sum_bit_identical;
+    Alcotest.test_case "pool: foreach_lb trials domain-invariant" `Quick
+      test_foreach_trials_domain_invariant;
+    Alcotest.test_case "pool: forall_lb trials domain-invariant" `Quick
+      test_forall_trials_domain_invariant;
+    Alcotest.test_case "pool: karger domain-invariant" `Quick
+      test_karger_domain_invariant;
+    Alcotest.test_case "pool: karger-stein domain-invariant" `Quick
+      test_karger_stein_domain_invariant;
+    Alcotest.test_case "prng: split reproducible" `Quick test_split_reproducible;
+    Alcotest.test_case "prng: split leaves parent untouched" `Quick
+      test_split_pure_in_parent;
+    Alcotest.test_case "prng: split streams non-colliding" `Quick
+      test_split_streams_pairwise_non_colliding;
+    Alcotest.test_case "prng: split differs from parent" `Quick
+      test_split_differs_from_parent_continuation;
+    Alcotest.test_case "prng: split rejects negative index" `Quick
+      test_split_rejects_negative;
+    Alcotest.test_case "pool: exceptions propagate" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "pool: failing chunk still joins the rest" `Quick
+      test_exception_joins_all_domains;
+    Alcotest.test_case "pool: domain_count positive" `Quick
+      test_domain_count_positive;
+  ]

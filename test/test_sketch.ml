@@ -39,6 +39,26 @@ let test_relative_error () =
   let c = Cut.singleton ~n:2 0 in
   check_float "10% error" 0.1 (Sketch.relative_error sk g c)
 
+(* One test per branch of the zero-cut contract in the .mli. *)
+let test_relative_error_zero_branches () =
+  (* Graph with only the 1 -> 0 edge: the cut ({0}, {1}) has truth 0. *)
+  let g = Digraph.of_edges 2 [ (1, 0, 10.0) ] in
+  let zero_cut = Cut.singleton ~n:2 0 in
+  let const v =
+    { Sketch.name = "const"; size_bits = 0; query = (fun _ -> v); graph = None }
+  in
+  check_float "truth 0, estimate 0" 0.0 (Sketch.relative_error (const 0.0) g zero_cut);
+  Alcotest.(check bool) "truth 0, estimate nonzero" true
+    (Sketch.relative_error (const 0.5) g zero_cut = infinity);
+  (* Even a sub-tolerance estimate of a zero cut is infinitely wrong. *)
+  Alcotest.(check bool) "truth 0, tiny estimate" true
+    (Sketch.relative_error (const 1e-15) g zero_cut = infinity);
+  (* Truth nonzero: estimate 0 is the ordinary branch with error 1. *)
+  let nonzero_cut = Cut.singleton ~n:2 1 in
+  check_float "truth nonzero, estimate 0" 1.0
+    (Sketch.relative_error (const 0.0) g nonzero_cut);
+  check_float "ordinary branch" 0.2 (Sketch.relative_error (const 8.0) g nonzero_cut)
+
 (* --- Noisy oracle --- *)
 
 let test_noisy_oracle_bounds () =
@@ -368,6 +388,8 @@ let suite =
     Alcotest.test_case "exact sketch: isolation" `Quick test_exact_sketch_independent_of_mutation;
     Alcotest.test_case "sketch: encoding monotone" `Quick test_encoding_bits_monotone;
     Alcotest.test_case "sketch: relative error" `Quick test_relative_error;
+    Alcotest.test_case "sketch: relative error zero branches" `Quick
+      test_relative_error_zero_branches;
     Alcotest.test_case "noisy oracle: bounds" `Quick test_noisy_oracle_bounds;
     Alcotest.test_case "noisy oracle: deterministic" `Quick test_noisy_oracle_deterministic_modes;
     Alcotest.test_case "noisy oracle: eps 0" `Quick test_noisy_oracle_zero_eps_exact;

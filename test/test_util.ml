@@ -18,9 +18,9 @@ let test_seed_sensitivity () =
   done;
   Alcotest.(check bool) "different seeds differ" true (!same < 4)
 
-let test_split_independence () =
+let test_fork_independence () =
   let g = Prng.create 7 in
-  let child = Prng.split g in
+  let child = Prng.fork g in
   let xs = Array.init 32 (fun _ -> Prng.bits64 g) in
   let ys = Array.init 32 (fun _ -> Prng.bits64 child) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
@@ -200,6 +200,61 @@ let test_write_fixed_validates () =
   Alcotest.check_raises "too large" (Invalid_argument "Bits.write_fixed: value out of range")
     (fun () -> Bits.write_fixed c ~width:4 16)
 
+(* qcheck: the size helpers agree exactly with what the counter records. *)
+let prop_gamma_write_matches_size =
+  QCheck.Test.make ~name:"write_gamma records gamma_size bits" ~count:100
+    QCheck.(int_range 1 1000000)
+    (fun v ->
+      let c = Bits.create () in
+      Bits.write_gamma c v;
+      let direct = Bits.total c in
+      let c' = Bits.create () in
+      Bits.write_nonneg c' (v - 1);
+      direct = Bits.gamma_size v && Bits.total c' = Bits.gamma_size v)
+
+(* qcheck: bits_for_range n is the exact ceil(log2 n): n values fit at that
+   width (write_fixed accepts n-1) and, for widths > 0, half the range does
+   not suffice. *)
+let prop_bits_for_range_tight =
+  QCheck.Test.make ~name:"bits_for_range is tight" ~count:100
+    QCheck.(int_range 1 2000000)
+    (fun n ->
+      let w = Bits.bits_for_range n in
+      let c = Bits.create () in
+      Bits.write_fixed c ~width:w (n - 1);
+      Bits.total c = w && (1 lsl w) >= n && (w = 0 || (1 lsl (w - 1)) < n))
+
+(* qcheck: counter totals are additive over any sequence of writes. *)
+let prop_bits_counter_additive =
+  QCheck.Test.make ~name:"bits counter is additive" ~count:50
+    QCheck.(list_of_size Gen.(int_range 0 20) (int_range 1 500))
+    (fun vs ->
+      let c = Bits.create () in
+      List.iter (fun v -> Bits.write_gamma c v) vs;
+      Bits.write_float c 1.5;
+      Bits.total c
+      = List.fold_left (fun acc v -> acc + Bits.gamma_size v) 64 vs
+      && Bits.total_bytes c = (Bits.total c + 7) / 8)
+
+(* qcheck: every cell written into a Table comes back verbatim in render,
+   and the integer formatter round-trips through the rendered text. *)
+let prop_table_cells_render_roundtrip =
+  QCheck.Test.make ~name:"table cells round-trip through render" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 6) small_nat)
+    (fun row ->
+      let cells = List.map Table.fint row in
+      let t = Table.create ~title:"t" ~columns:(List.map (fun _ -> "c") cells) in
+      Table.add_row t cells;
+      let rendered = Table.render t in
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      List.for_all2
+        (fun cell v -> contains rendered cell && int_of_string cell = v)
+        cells row)
+
 (* --- Message --- *)
 
 let test_message_roundtrip () =
@@ -244,7 +299,7 @@ let suite =
   [
     Alcotest.test_case "prng: determinism" `Quick test_determinism;
     Alcotest.test_case "prng: seed sensitivity" `Quick test_seed_sensitivity;
-    Alcotest.test_case "prng: split independence" `Quick test_split_independence;
+    Alcotest.test_case "prng: fork independence" `Quick test_fork_independence;
     Alcotest.test_case "prng: int range" `Quick test_int_range;
     Alcotest.test_case "prng: int uniformity" `Quick test_int_uniformity;
     Alcotest.test_case "prng: float range" `Quick test_float_range;
@@ -273,4 +328,8 @@ let suite =
     Alcotest.test_case "table: renders" `Quick test_table_renders;
     Alcotest.test_case "table: row mismatch" `Quick test_table_row_mismatch;
     Alcotest.test_case "table: cell formats" `Quick test_table_formats;
+    QCheck_alcotest.to_alcotest prop_gamma_write_matches_size;
+    QCheck_alcotest.to_alcotest prop_bits_for_range_tight;
+    QCheck_alcotest.to_alcotest prop_bits_counter_additive;
+    QCheck_alcotest.to_alcotest prop_table_cells_render_roundtrip;
   ]
