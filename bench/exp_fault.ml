@@ -1,0 +1,184 @@
+(* E16 — fault injection: what robustness costs, in bits and queries,
+   against the paper's idealized protocols. Part A runs the distributed
+   pipeline over lossy channels (drops + corruptions, checksummed frames,
+   bounded re-request); part B runs the Theorem 5.7 estimator against a
+   flaky oracle (timeouts + lies, retry-with-backoff + majority vote) and
+   reports the measured query overhead factor vs the Õ(m/(ε²k)) budget.
+
+   Determinism: trial t of each sweep row draws from Prng.split of a
+   per-row master, and every fault injector forks off that trial stream —
+   the tables are byte-identical at every DCS_DOMAINS setting
+   (bin/check_determinism.sh diffs this experiment too). *)
+
+open Dcs
+
+let trials_a = 24
+let trials_b = 16
+
+let run () =
+  Common.section "E16 Fault injection — robustness overhead vs fault rate";
+  let rng0 = Common.rng_for 16 in
+
+  (* --- Part A: lossy channels under the distributed pipeline --- *)
+  let g = Generators.planted_mincut rng0 ~block:50 ~k:7 ~p_inner:0.6 in
+  let exact = Stoer_wagner.mincut_value g in
+  let servers = 3 in
+  let shards = Partition.random rng0 ~servers g in
+  let cfg =
+    { (Coordinator.default_config ~eps:0.3) with Coordinator.karger_trials = 40 }
+  in
+  Printf.printf
+    "A: pipeline, n=%d m=%d true min cut=%.0f, %d servers, retry budget 4\n"
+    (Ugraph.n g) (Ugraph.m g) exact servers;
+  let ta =
+    Table.create ~title:"lossy channels: drop = corrupt = p per delivery"
+      ~columns:
+        [
+          "p"; "decode ok"; "estimate ok"; "retrans"; "lost"; "degraded";
+          "retrans kb"; "overhead";
+        ]
+  in
+  let master_a = Prng.fork rng0 in
+  List.iteri
+    (fun row p ->
+      let mrow = Prng.split master_a row in
+      (* The pipeline itself fans its contraction trials over domains, so
+         the sweep rows run sequentially; determinism is per-trial. *)
+      let results =
+        Array.init trials_a (fun t ->
+            let rng = Prng.split mrow t in
+            let fault = Fault.create (Fault.policy ~drop:p ~corrupt:p ()) rng in
+            try Some (Coordinator.min_cut_robust rng cfg ~fault shards)
+            with Failure _ | Invalid_argument _ -> None)
+      in
+      let decode_ok = Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results in
+      let est_ok =
+        Array.fold_left
+          (fun a r ->
+            match r with
+            | Some r
+              when Float.abs (r.Coordinator.base.Coordinator.estimate -. exact)
+                   <= 0.5 *. exact ->
+                a + 1
+            | _ -> a)
+          0 results
+      in
+      let sum f =
+        Array.fold_left
+          (fun a r -> match r with Some r -> a + f r.Coordinator.report | None -> a)
+          0 results
+      in
+      let retrans = sum (fun rep -> rep.Coordinator.retransmissions) in
+      let lost =
+        sum (fun rep -> rep.Coordinator.coarse_lost + rep.Coordinator.fine_lost)
+      in
+      let degraded = sum (fun rep -> if rep.Coordinator.degraded then 1 else 0) in
+      let retrans_bits = sum (fun rep -> rep.Coordinator.retransmit_bits) in
+      let payload_bits =
+        Array.fold_left
+          (fun a r ->
+            match r with Some r -> a + r.Coordinator.base.Coordinator.total_bits | None -> a)
+          0 results
+      in
+      let overhead =
+        if payload_bits = 0 then 0.0
+        else float_of_int retrans_bits /. float_of_int payload_bits
+      in
+      Table.add_row ta
+        [
+          Printf.sprintf "%.2f" p;
+          Common.rate_cell ~ok:decode_ok ~total:trials_a;
+          Common.rate_cell ~ok:est_ok ~total:trials_a;
+          Table.fint retrans;
+          Table.fint lost;
+          Table.fint degraded;
+          Common.kbits retrans_bits;
+          Table.fpct overhead;
+        ])
+    [ 0.0; 0.05; 0.1; 0.2; 0.3 ];
+  Table.print ta;
+  Common.note "p = 0 is bit-identical to E9's idealized pipeline (same estimates,";
+  Common.note "same payload bits); overhead = retransmitted bits / first-send bits.";
+
+  (* --- Part B: flaky local-query oracle under the Theorem 5.7 estimator --- *)
+  let g2 = Generators.planted_mincut rng0 ~block:40 ~k:6 ~p_inner:0.5 in
+  let k_true = Stoer_wagner.mincut_value g2 in
+  let eps = 0.5 in
+  let m = float_of_int (Ugraph.m g2) in
+  let budget = m /. (eps *. eps *. k_true) in
+  Printf.printf
+    "\nB: estimator, n=%d m=%.0f k=%.0f eps=%.2f, Thm 5.7 budget m/(eps^2 k)=%.0f\n"
+    (Ugraph.n g2) m k_true eps budget;
+  let tb =
+    Table.create
+      ~title:"flaky oracle: timeout = p, lie = p/2 per query (retries <= 8)"
+      ~columns:
+        [ "p"; "vote k"; "success"; "avg queries"; "retries"; "overhead"; "q/budget" ]
+  in
+  let master_b = Prng.fork rng0 in
+  let clean_queries = ref 0.0 in
+  List.iteri
+    (fun row (p, vote_k) ->
+      let mrow = Prng.split master_b row in
+      let results =
+        Pool.parallel_init ~n:trials_b (fun t ->
+            let rng = Prng.split mrow t in
+            let fault =
+              Fault.create (Fault.policy ~timeout:p ~lie:(p /. 2.0) ()) rng
+            in
+            let o = Oracle.create g2 in
+            let fo = Faulty_oracle.create ~vote_k fault o in
+            try
+              let r = Estimator.estimate ~faulty:fo rng o ~eps ~mode:Estimator.Modified in
+              Some
+                ( r.Estimator.estimate,
+                  r.Estimator.total_queries,
+                  (Faulty_oracle.stats fo).Faulty_oracle.retries )
+            with Faulty_oracle.Exhausted _ -> None)
+      in
+      let ok =
+        Array.fold_left
+          (fun a r ->
+            match r with
+            | Some (est, _, _) when Float.abs (est -. k_true) <= 0.5 *. k_true -> a + 1
+            | _ -> a)
+          0 results
+      in
+      let completed =
+        Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results
+      in
+      let avg_q =
+        if completed = 0 then 0.0
+        else
+          Array.fold_left
+            (fun a r -> match r with Some (_, q, _) -> a +. float_of_int q | None -> a)
+            0.0 results
+          /. float_of_int completed
+      in
+      let retries =
+        Array.fold_left
+          (fun a r -> match r with Some (_, _, rt) -> a + rt | None -> a)
+          0 results
+      in
+      if row = 0 then clean_queries := avg_q;
+      let overhead = if !clean_queries > 0.0 then avg_q /. !clean_queries else 0.0 in
+      Table.add_row tb
+        [
+          Printf.sprintf "%.2f" p;
+          Table.fint vote_k;
+          Common.rate_cell ~ok ~total:trials_b;
+          Table.ffloat ~digits:0 avg_q;
+          Table.fint retries;
+          Printf.sprintf "%.2fx" overhead;
+          Printf.sprintf "%.1fx" (avg_q /. budget);
+        ])
+    [ (0.0, 1); (0.05, 3); (0.1, 3); (0.2, 3); (0.2, 7) ];
+  Table.print tb;
+  Common.note "success = estimate within (1 ± 0.5)k; overhead = avg queries vs the";
+  Common.note "p = 0 row (which is bit-identical to the unwrapped estimator).";
+  Common.note "Lies are absorbed by k-way majority votes, timeouts by <= 8 retries";
+  Common.note "with exponential backoff; every retry and vote hits the query meter.";
+  Common.note "At p = 0.2 a 3-vote majority is itself subverted (about 3 in 100";
+  Common.note "answers stay wrong) — widening to k = 7 buys the success back at";
+  Common.note "the proportional extra query cost: robustness is a measurable factor,";
+  Common.note "never free, exactly the trade the lower bounds price in bits."

@@ -23,6 +23,7 @@ let experiments =
     ("E13", "Beta-scaling of directed sparsifiers", false, Exp_beta_scaling.run);
     ("E14", "Cut counting / enumeration coverage", false, Exp_cut_counting.run);
     ("E15", "Imbalance decomposition sketch", false, Exp_imbalance.run);
+    ("E16", "Fault injection: robustness overhead", false, Exp_fault.run);
   ]
 
 let () =

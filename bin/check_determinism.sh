@@ -4,11 +4,15 @@
 # (sequential fallback) and DCS_DOMAINS=4 (parallel fan-out). Any divergence
 # means per-trial seed-splitting leaked scheduling into a result.
 #
-# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4)
+# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4 E16)
+#
+# E16 is in the default set because it exercises the fault-injection layer:
+# its drop/corruption/timeout/lie draws must come out of the split streams
+# identically however the trials are scheduled.
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4}"
+experiments="${*:-E3 E4 E16}"
 
 echo "== building =="
 dune build bench/main.exe test/main.exe

@@ -11,3 +11,54 @@ let exchange = send
 
 let total_bits t = t.bits
 let rounds t = t.rounds
+
+module Fault = Dcs_util.Fault
+
+type lossy = {
+  fault : Fault.t;
+  first : t;
+  retrans : t;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable corrupted : int;
+}
+
+type delivery = Received of string | Dropped
+
+let create_lossy fault =
+  {
+    fault;
+    first = create ();
+    retrans = create ();
+    delivered = 0;
+    dropped = 0;
+    corrupted = 0;
+  }
+
+let flip_one_bit fault payload =
+  let b = Bytes.of_string payload in
+  let pos = Fault.draw_int fault (8 * Bytes.length b) in
+  let byte = pos / 8 and bit = pos mod 8 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let transmit l ?(retransmission = false) ~bits payload =
+  send (if retransmission then l.retrans else l.first) ~bits;
+  if Fault.drops_message l.fault then begin
+    l.dropped <- l.dropped + 1;
+    Dropped
+  end
+  else begin
+    l.delivered <- l.delivered + 1;
+    if payload <> "" && Fault.corrupts_message l.fault then begin
+      l.corrupted <- l.corrupted + 1;
+      Received (flip_one_bit l.fault payload)
+    end
+    else Received payload
+  end
+
+let first_send_bits l = total_bits l.first
+let retransmit_bits l = total_bits l.retrans
+let deliveries l = l.delivered
+let lossy_drops l = l.dropped
+let lossy_corruptions l = l.corrupted

@@ -21,3 +21,41 @@ val total_bits : t -> int
 
 val rounds : t -> int
 (** Number of [send]/[exchange] events. *)
+
+(** {2 Lossy channels}
+
+    A lossy channel is a metered channel over an adversarial medium: each
+    transmission may be dropped (the receiver sees nothing) or silently
+    corrupted (one bit of the payload is flipped — the receiver only finds
+    out if the payload carries its own checksum, cf.
+    {!Dcs_graph.Serialize.unframe}). Fault decisions come from a
+    {!Dcs_util.Fault.t}, so runs are reproducible; with
+    {!Dcs_util.Fault.disabled} every transmission is delivered verbatim and
+    the metering is identical to a plain channel.
+
+    First sends and retransmissions are metered on separate counters so
+    experiments can report retransmission overhead against the paper's
+    first-send lower bounds. *)
+
+type lossy
+
+type delivery =
+  | Received of string  (** possibly corrupted — verify the checksum *)
+  | Dropped
+
+val create_lossy : Dcs_util.Fault.t -> lossy
+
+val transmit : lossy -> ?retransmission:bool -> bits:int -> string -> delivery
+(** [transmit l ~bits payload] meters [bits] (the canonical encoded size of
+    the message, checksum included) on the first-send or retransmission
+    counter, then subjects [payload] to the fault policy. An empty payload
+    can be dropped but never corrupted (there is nothing to flip). *)
+
+val first_send_bits : lossy -> int
+val retransmit_bits : lossy -> int
+
+val deliveries : lossy -> int
+(** Transmissions that returned [Received _]. *)
+
+val lossy_drops : lossy -> int
+val lossy_corruptions : lossy -> int

@@ -9,6 +9,9 @@
 
     - {!Prng}, {!Pool}, {!Stats}, {!Bits}, {!Table} — determinism, the
       parallel trial engine, statistics, and bit-level size accounting.
+    - {!Fault}, {!Retry}, {!Checksum} — the deterministic fault-injection
+      layer: seed-driven drop/corrupt/timeout/lie policies, bounded
+      retry-with-backoff and majority voting, CRC-32 message framing.
     - {!Hadamard}, {!Pm_vector}, {!Decode_matrix} — the Lemma 3.2 machinery.
     - {!Digraph}, {!Ugraph}, {!Cut}, {!Balance}, {!Generators},
       {!Traversal} — graphs and cuts.
@@ -42,6 +45,9 @@ module Stats = Dcs_util.Stats
 module Bits = Dcs_util.Bits
 module Table = Dcs_util.Table
 module Message = Dcs_util.Message
+module Fault = Dcs_util.Fault
+module Retry = Dcs_util.Retry
+module Checksum = Dcs_util.Checksum
 
 module Hadamard = Dcs_linalg.Hadamard
 module Pm_vector = Dcs_linalg.Pm_vector
@@ -85,6 +91,7 @@ module Forall_lb = Dcs_lower.Forall_lb
 module Naive_foreach = Dcs_lower.Naive_foreach
 
 module Oracle = Dcs_localquery.Oracle
+module Faulty_oracle = Dcs_localquery.Faulty_oracle
 module Gxy = Dcs_localquery.Gxy
 module Verify_guess = Dcs_localquery.Verify_guess
 module Estimator = Dcs_localquery.Estimator

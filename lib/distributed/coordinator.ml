@@ -1,7 +1,10 @@
 module Ugraph = Dcs_graph.Ugraph
 module Cut = Dcs_graph.Cut
+module Serialize = Dcs_graph.Serialize
 module Sketch = Dcs_sketch.Sketch
 module Prng = Dcs_util.Prng
+module Fault = Dcs_util.Fault
+module Channel = Dcs_comm.Channel
 
 type config = {
   eps : float;
@@ -17,6 +20,16 @@ type config = {
 let default_config ~eps =
   { eps; eps_coarse = 0.5; karger_trials = 200; candidate_factor = 2.0 }
 
+let validate cfg =
+  if not (cfg.eps > 0.0 && cfg.eps < 1.0) then
+    invalid_arg "Coordinator: eps must be in (0, 1)";
+  if not (cfg.eps_coarse > 0.0) then
+    invalid_arg "Coordinator: eps_coarse must be positive";
+  if cfg.karger_trials < 1 then
+    invalid_arg "Coordinator: karger_trials must be >= 1";
+  if not (cfg.candidate_factor >= 1.0) then
+    invalid_arg "Coordinator: candidate_factor must be >= 1.0"
+
 type result = {
   estimate : float;
   coarse_estimate : float;
@@ -29,35 +42,109 @@ type result = {
   fullacc_forall_bits : int;
 }
 
-let min_cut rng cfg shards =
+type fault_report = {
+  retransmissions : int;
+  drops_seen : int;
+  corruptions_detected : int;
+  coarse_lost : int;
+  fine_lost : int;
+  checksum_bits : int;
+  retransmit_bits : int;
+  control_bits : int;
+  backoff_units : int;
+  eps_effective : float;
+  degraded : bool;
+}
+
+type robust_result = { base : result; report : fault_report }
+
+(* One server→coordinator sketch delivery over the lossy channel: frame the
+   canonical encoding with a checksum, transmit, let the receiver detect a
+   drop (nothing arrives) or a corruption (checksum fails) and re-request
+   with exponential backoff, up to [retry_budget] retransmissions.
+
+   When the injector is inactive no frame can be damaged, so the textual
+   round-trip is skipped entirely (the metering is identical either way):
+   this keeps the idealized pipeline's fast path — and makes [min_cut]
+   literally the zero-fault instance of the robust one. *)
+type 'a delivery_stats = {
+  got : 'a option;
+  payload_bits : int;
+  d_retrans : int;
+  d_drops : int;
+  d_corrupt : int;
+  d_backoff : int;
+}
+
+let deliver_sketch lossy ~fault ~retry_budget h =
+  let payload_bits = Sketch.ugraph_encoding_bits h in
+  let bits = payload_bits + Sketch.checksum_bits in
+  if not (Fault.active fault) then begin
+    ignore (Channel.transmit lossy ~bits "");
+    { got = Some h; payload_bits; d_retrans = 0; d_drops = 0; d_corrupt = 0; d_backoff = 0 }
+  end
+  else begin
+    let frame = Serialize.ugraph_to_frame h in
+    let rec go attempt drops corrupt backoff =
+      if attempt > retry_budget then
+        { got = None; payload_bits; d_retrans = retry_budget; d_drops = drops;
+          d_corrupt = corrupt; d_backoff = backoff }
+      else
+        match Channel.transmit lossy ~retransmission:(attempt > 0) ~bits frame with
+        | Channel.Dropped ->
+            go (attempt + 1) (drops + 1) corrupt (backoff + (1 lsl attempt))
+        | Channel.Received s -> (
+            match Serialize.ugraph_of_frame s with
+            | Ok g ->
+                { got = Some g; payload_bits; d_retrans = attempt; d_drops = drops;
+                  d_corrupt = corrupt; d_backoff = backoff }
+            | Error _ ->
+                go (attempt + 1) drops (corrupt + 1) (backoff + (1 lsl attempt)))
+    in
+    go 0 0 0 0
+  end
+
+let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
+  validate cfg;
+  if retry_budget < 0 then
+    invalid_arg "Coordinator.min_cut_robust: retry_budget must be >= 0";
   if Array.length shards = 0 then invalid_arg "Coordinator.min_cut: no shards";
   let n = Ugraph.n shards.(0) in
-  (* Server side: each shard produces its two sketches. A shard may be
-     disconnected or even empty — the samplers handle that (strength
-     indices are per-component). *)
+  let lossy = Channel.create_lossy fault in
+  (* Server side: each shard produces its two sketches and ships them in
+     checksummed frames. A shard may be disconnected or even empty — the
+     samplers handle that (strength indices are per-component). The rng
+     draw order (all coarse sketches, then all fine ones, then the
+     contraction trials) matches the idealized pipeline exactly. *)
+  let sketch_shard builder shard =
+    if Ugraph.m shard = 0 then shard else builder shard
+  in
   let coarse =
     Array.map
       (fun shard ->
-        if Ugraph.m shard = 0 then (shard, Sketch.ugraph_encoding_bits shard)
-        else begin
-          let h = Dcs_sketch.Benczur_karger.sparsify rng ~eps:cfg.eps_coarse shard in
-          (h, Sketch.ugraph_encoding_bits h)
-        end)
+        deliver_sketch lossy ~fault ~retry_budget
+          (sketch_shard (Dcs_sketch.Benczur_karger.sparsify rng ~eps:cfg.eps_coarse) shard))
       shards
   in
   let fine =
     Array.map
       (fun shard ->
-        if Ugraph.m shard = 0 then (shard, Sketch.ugraph_encoding_bits shard)
-        else begin
-          let h = Dcs_sketch.Foreach_sampler.sparsify rng ~eps:cfg.eps shard in
-          (h, Sketch.ugraph_encoding_bits h)
-        end)
+        deliver_sketch lossy ~fault ~retry_budget
+          (sketch_shard (Dcs_sketch.Foreach_sampler.sparsify rng ~eps:cfg.eps) shard))
       shards
   in
-  (* Coordinator side: merge the coarse sparsifiers and enumerate
+  (* Coordinator side: merge the surviving coarse sparsifiers and enumerate
      near-minimum candidate cuts by repeated contraction. *)
-  let merged = Partition.union n (Array.map fst coarse) in
+  let surviving_coarse =
+    Array.of_list
+      (List.filter_map (fun d -> d.got) (Array.to_list coarse))
+  in
+  if Array.length surviving_coarse = 0 then
+    failwith "Coordinator.min_cut_robust: every coarse sketch lost past the retry budget";
+  let merged = Partition.union n surviving_coarse in
+  if Fault.active fault && not (Dcs_graph.Traversal.is_connected merged) then
+    failwith
+      "Coordinator.min_cut_robust: merged coarse sparsifier disconnected (shards lost past the retry budget)";
   let candidates =
     Dcs_mincut.Karger.candidate_cuts rng ~trials:cfg.karger_trials
       ~factor:cfg.candidate_factor merged
@@ -65,10 +152,31 @@ let min_cut rng cfg shards =
   let coarse_estimate =
     match candidates with [] -> infinity | (v, _) :: _ -> v
   in
-  (* Refine every candidate with the for-each sketches: the estimate of a
-     cut is the sum of the shards' estimates because edges are disjoint. *)
+  (* Refine every candidate with the surviving for-each sketches: shard
+     edges are disjoint, so a cut's estimate is the sum of the shards'
+     estimates. Lost fine shards are compensated by rescaling with the
+     advertised shard weights (the tiny control-plane message every server
+     sends up front), and the error bound is widened by the lost weight
+     fraction. With nothing lost the scale is exactly 1.0. *)
+  let total_weight = Array.fold_left (fun acc s -> acc +. Ugraph.total_weight s) 0.0 shards in
+  let surviving_weight =
+    Array.fold_left
+      (fun acc i ->
+        match fine.(i).got with
+        | Some _ -> acc +. Ugraph.total_weight shards.(i)
+        | None -> acc)
+      0.0
+      (Array.init (Array.length shards) (fun i -> i))
+  in
+  let scale =
+    if surviving_weight > 0.0 then total_weight /. surviving_weight else 1.0
+  in
   let score cut =
-    Array.fold_left (fun acc (h, _) -> acc +. Ugraph.cut_value h cut) 0.0 fine
+    Array.fold_left
+      (fun acc d ->
+        match d.got with Some h -> acc +. Ugraph.cut_value h cut | None -> acc)
+      0.0 fine
+    *. scale
   in
   let best =
     List.fold_left
@@ -84,8 +192,9 @@ let min_cut rng cfg shards =
     | Some (v, c) -> (v, c)
     | None -> invalid_arg "Coordinator.min_cut: no candidate cuts (empty graph?)"
   in
-  let forall_bits = Array.fold_left (fun acc (_, b) -> acc + b) 0 coarse in
-  let foreach_bits = Array.fold_left (fun acc (_, b) -> acc + b) 0 fine in
+  let sum f arr = Array.fold_left (fun acc d -> acc + f d) 0 arr in
+  let forall_bits = sum (fun d -> d.payload_bits) coarse in
+  let foreach_bits = sum (fun d -> d.payload_bits) fine in
   let naive_bits =
     Array.fold_left (fun acc s -> acc + Sketch.ugraph_encoding_bits s) 0 shards
   in
@@ -99,14 +208,47 @@ let min_cut rng cfg shards =
         end)
       0 shards
   in
-  {
-    estimate;
-    coarse_estimate;
-    cut;
-    candidates = List.length candidates;
-    forall_bits;
-    foreach_bits;
-    total_bits = forall_bits + foreach_bits;
-    naive_bits;
-    fullacc_forall_bits;
-  }
+  let base =
+    {
+      estimate;
+      coarse_estimate;
+      cut;
+      candidates = List.length candidates;
+      forall_bits;
+      foreach_bits;
+      total_bits = forall_bits + foreach_bits;
+      naive_bits;
+      fullacc_forall_bits;
+    }
+  in
+  let lost arr = sum (fun d -> if d.got = None then 1 else 0) arr in
+  let coarse_lost = lost coarse and fine_lost = lost fine in
+  let lost_weight = total_weight -. surviving_weight in
+  let eps_effective =
+    if fine_lost = 0 then cfg.eps
+    else if total_weight > 0.0 then
+      Float.min 1.0 (cfg.eps +. (lost_weight /. total_weight))
+    else 1.0
+  in
+  let report =
+    {
+      retransmissions = sum (fun d -> d.d_retrans) coarse + sum (fun d -> d.d_retrans) fine;
+      drops_seen = sum (fun d -> d.d_drops) coarse + sum (fun d -> d.d_drops) fine;
+      corruptions_detected =
+        sum (fun d -> d.d_corrupt) coarse + sum (fun d -> d.d_corrupt) fine;
+      coarse_lost;
+      fine_lost;
+      checksum_bits = Sketch.checksum_bits * 2 * Array.length shards;
+      retransmit_bits = Channel.retransmit_bits lossy;
+      (* every server advertises its shard's total weight up front on the
+         reliable control plane: one 64-bit float per shard *)
+      control_bits = 64 * Array.length shards;
+      backoff_units = sum (fun d -> d.d_backoff) coarse + sum (fun d -> d.d_backoff) fine;
+      eps_effective;
+      degraded = coarse_lost > 0 || fine_lost > 0;
+    }
+  in
+  { base; report }
+
+let min_cut rng cfg shards =
+  (min_cut_robust ~retry_budget:0 rng cfg ~fault:Fault.disabled shards).base

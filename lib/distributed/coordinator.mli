@@ -8,7 +8,16 @@
 
     The baselines quantify the trade-off: shipping raw edges, or shipping
     full-accuracy for-all sketches. All message sizes are metered in bits
-    by the sketches' canonical encodings. *)
+    by the sketches' canonical encodings.
+
+    {!min_cut_robust} runs the same pipeline over a lossy medium
+    ({!Dcs_util.Fault}): sketches travel in checksummed frames, the
+    coordinator detects dropped or corrupted deliveries and re-requests
+    with exponential backoff up to a retry budget, and past the budget it
+    degrades gracefully — candidates come from the surviving coarse
+    sketches, scores are rescaled by the advertised weight of surviving
+    fine shards, and the error bound is widened accordingly. {!min_cut} is
+    exactly the zero-fault instance: same estimates, same metered bits. *)
 
 type config = {
   eps : float;            (** target accuracy of the final estimate *)
@@ -19,6 +28,12 @@ type config = {
 }
 
 val default_config : eps:float -> config
+
+val validate : config -> unit
+(** [Invalid_argument] unless [0 < eps < 1], [eps_coarse > 0],
+    [karger_trials >= 1] and [candidate_factor >= 1.0]. Called by both
+    entry points, so a bad config fails loudly instead of silently
+    producing garbage estimates. *)
 
 type result = {
   estimate : float;               (** refined min-cut estimate *)
@@ -36,3 +51,37 @@ val min_cut :
   Dcs_util.Prng.t -> config -> Dcs_graph.Ugraph.t array -> result
 (** Runs the full pipeline over the shards. Requires the merged graph to be
     connected with at least 2 vertices. *)
+
+(** {2 Fault-tolerant pipeline} *)
+
+type fault_report = {
+  retransmissions : int;          (** frames re-sent after a drop/corruption *)
+  drops_seen : int;               (** deliveries that never arrived *)
+  corruptions_detected : int;     (** frames rejected by their checksum *)
+  coarse_lost : int;              (** coarse sketches abandoned past budget *)
+  fine_lost : int;                (** fine sketches abandoned past budget *)
+  checksum_bits : int;            (** CRC overhead on first sends *)
+  retransmit_bits : int;          (** full frames re-sent (payload + CRC) *)
+  control_bits : int;             (** per-shard weight advertisements *)
+  backoff_units : int;            (** Σ 2^attempt simulated backoff waits *)
+  eps_effective : float;          (** [eps], widened by the lost fine-shard
+                                      weight fraction when degraded *)
+  degraded : bool;                (** any sketch lost past the retry budget *)
+}
+
+type robust_result = { base : result; report : fault_report }
+
+val min_cut_robust :
+  ?retry_budget:int ->
+  Dcs_util.Prng.t ->
+  config ->
+  fault:Dcs_util.Fault.t ->
+  Dcs_graph.Ugraph.t array ->
+  robust_result
+(** [retry_budget] (default 4) is the number of re-requests allowed per
+    sketch beyond the first send. With {!Dcs_util.Fault.disabled} the
+    [base] result is bit-identical to {!min_cut}'s — the payload metering
+    ([forall_bits] etc.) never includes the robustness overhead, which is
+    reported separately in the {!fault_report}. Raises [Failure] when every
+    coarse sketch is lost (or the surviving merge is disconnected): with
+    no usable for-all information there is nothing to degrade to. *)

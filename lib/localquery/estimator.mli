@@ -35,6 +35,7 @@ val estimate :
   ?c0:float ->
   ?beta0:float ->
   ?c_margin:float ->
+  ?faulty:Faulty_oracle.t ->
   Dcs_util.Prng.t ->
   Oracle.t ->
   eps:float ->
@@ -42,4 +43,12 @@ val estimate :
   result
 (** Resets the oracle meters before starting, so the reported counts are
     exactly this run's. Defaults: [c0] = 2.0 (VERIFY-GUESS oversampling),
-    [beta0] = 0.5 (search accuracy in [Modified] mode), [c_margin] = 4.0. *)
+    [beta0] = 0.5 (search accuracy in [Modified] mode), [c_margin] = 4.0.
+
+    When [faulty] is given (it must wrap the same [oracle]), degree and
+    edge queries go through its retry-and-vote recovery; every retry and
+    vote is charged to the oracle's meters, so the reported counts measure
+    the true robustness overhead against the Theorem 5.7 budget. May raise
+    {!Faulty_oracle.Exhausted} when a query outlives its retry budget.
+    With an inactive injector the run is bit-identical to the unwrapped
+    one — same estimate, same metered counts. *)

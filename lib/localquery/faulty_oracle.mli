@@ -1,0 +1,55 @@
+(** Fault-injecting wrapper around the local query {!Oracle}.
+
+    Models the BGMP21 algorithm running against a flaky oracle: a query can
+    {e time out} (the answer never arrives — but the query was issued, so
+    it is still charged to the meters) or {e lie} (a wrong answer arrives,
+    indistinguishable from a true one). Recovery is layered per logical
+    query:
+
+    - timeouts: bounded retry with exponential backoff ({!Dcs_util.Retry}),
+      at most [retry_budget] attempts; when every attempt of every vote
+      times out, {!Exhausted} is raised;
+    - lies: [vote_k]-way majority vote — the query is repeated [vote_k]
+      times (each repeat metered) and the most frequent answer wins.
+
+    Every underlying attempt goes through the wrapped {!Oracle}, so retries
+    and votes are charged to its query/communication meters exactly — this
+    is what experiment E16 measures as the robustness overhead factor
+    against the Õ(m/(ε²k)) budget of Theorem 5.7. Use an {e unmemoized}
+    oracle under a nonzero timeout rate: a timed-out answer was never
+    received, so it must not populate the algorithm's memo table (the
+    memoizing oracle cannot distinguish the two).
+
+    With an inactive fault injector and [vote_k = 1], every wrapped query
+    issues exactly one underlying query and returns its honest answer:
+    the wrapped run is bit-identical to the unwrapped one. *)
+
+type t
+
+exception Exhausted of string
+
+val create :
+  ?retry_budget:int -> ?vote_k:int -> Dcs_util.Fault.t -> Oracle.t -> t
+(** [retry_budget] (default 8) is the maximum attempts per vote; [vote_k]
+    defaults to 1 when the policy's lie rate is 0 and 3 otherwise. Both
+    must be >= 1. *)
+
+val oracle : t -> Oracle.t
+
+val n : t -> int
+
+(** {2 Robust queries} — same semantics as {!Oracle}'s, after recovery. *)
+
+val degree : t -> int -> int
+val ith_neighbor : t -> int -> int -> int option
+val adjacent : t -> int -> int -> bool
+
+(** {2 Recovery accounting} (fault counters live on the injector) *)
+
+type stats = {
+  retries : int;        (** extra attempts forced by timeouts *)
+  votes_cast : int;     (** total attempts across majority votes *)
+  backoff_units : int;  (** Σ 2^attempt simulated backoff waits *)
+}
+
+val stats : t -> stats

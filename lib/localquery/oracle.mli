@@ -29,7 +29,9 @@ val degree : t -> int -> int
 
 val ith_neighbor : t -> int -> int -> int option
 (** [ith_neighbor o u i] with 0-based [i]; [None] when [i >= degree u].
-    Counts as one edge query either way. *)
+    Counts as one edge query either way. A negative [i] is a malformed
+    query, not a ⊥ answer: it raises [Invalid_argument] without touching
+    the meters. *)
 
 val adjacent : t -> int -> int -> bool
 

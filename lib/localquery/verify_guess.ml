@@ -9,11 +9,19 @@ type outcome = {
   p : float;
 }
 
-let run ?(c0 = 2.0) ?(threshold = 0.5) rng oracle ~degrees ~t ~eps =
+let run ?(c0 = 2.0) ?(threshold = 0.5) ?faulty rng oracle ~degrees ~t ~eps =
   if t <= 0.0 then invalid_arg "Verify_guess.run: t > 0";
   if eps <= 0.0 || eps > 1.0 then invalid_arg "Verify_guess.run: eps in (0,1]";
   let n = Oracle.n oracle in
   if Array.length degrees <> n then invalid_arg "Verify_guess.run: degrees length";
+  let ith_neighbor =
+    match faulty with
+    | None -> Oracle.ith_neighbor oracle
+    | Some f ->
+        if Faulty_oracle.oracle f != oracle then
+          invalid_arg "Verify_guess.run: faulty wrapper must wrap the given oracle";
+        Faulty_oracle.ith_neighbor f
+  in
   let p = Float.min 1.0 (c0 *. log (float_of_int (max 2 n)) /. (eps *. eps *. t)) in
   let slot_p = if p >= 1.0 then 1.0 else p /. 2.0 in
   let h = Ugraph.create n in
@@ -22,14 +30,16 @@ let run ?(c0 = 2.0) ?(threshold = 0.5) rng oracle ~degrees ~t ~eps =
     for i = 0 to degrees.(u) - 1 do
       if slot_p >= 1.0 || Prng.bernoulli rng slot_p then begin
         incr queries;
-        match Oracle.ith_neighbor oracle u i with
-        | Some v ->
+        match ith_neighbor u i with
+        | Some v when v <> u ->
             (* Full read keeps original unit weight; a sampled slot carries
                weight 1/p so each edge's expected sampled weight is 1. A
-               full read visits each edge from both endpoints, so halve. *)
+               full read visits each edge from both endpoints, so halve.
+               (A lying oracle can answer [u] itself; a self-loop is
+               observably absurd, so it is discarded like a ⊥.) *)
             let w = if p >= 1.0 then 0.5 else 1.0 /. p in
             Ugraph.add_edge h u v w
-        | None -> ()
+        | Some _ | None -> ()
       end
     done
   done;

@@ -27,6 +27,7 @@ type outcome = {
 val run :
   ?c0:float ->
   ?threshold:float ->
+  ?faulty:Faulty_oracle.t ->
   Dcs_util.Prng.t ->
   Oracle.t ->
   degrees:int array ->
@@ -35,4 +36,11 @@ val run :
   outcome
 (** Defaults: [c0] = 2.0 (the paper's 2000 is a worst-case constant;
     EXPERIMENTS.md records the scaling), [threshold] = 0.5. When p reaches
-    1 the whole graph is read (2m edge queries) and the estimate is exact. *)
+    1 the whole graph is read (2m edge queries) and the estimate is exact.
+
+    When [faulty] is given (it must wrap the same [oracle]), every edge
+    query goes through the fault layer's retry-and-vote recovery; retries
+    and votes hit the underlying meters, and [edge_queries] still counts
+    {e logical} queries (the metered physical count is on the oracle).
+    May raise {!Faulty_oracle.Exhausted}. With an inactive injector the
+    run is bit-identical to the unwrapped one. *)

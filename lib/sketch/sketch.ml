@@ -30,6 +30,10 @@ let ugraph_encoding_bits g =
       Bits.add c 64);
   Bits.total c
 
+let checksum_bits = Dcs_util.Checksum.bits
+let digraph_frame_bits g = digraph_encoding_bits g + checksum_bits
+let ugraph_frame_bits g = ugraph_encoding_bits g + checksum_bits
+
 let of_digraph ~name ~size_bits g =
   { name; size_bits; query = (fun s -> Cut.value g s); graph = Some g }
 

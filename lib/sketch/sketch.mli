@@ -39,6 +39,18 @@ val digraph_encoding_bits : Dcs_graph.Digraph.t -> int
 val ugraph_encoding_bits : Dcs_graph.Ugraph.t -> int
 (** Same, counting each undirected edge once. *)
 
+val checksum_bits : int
+(** Canonical overhead of making an encoding self-checking (a CRC-32
+    field, {!Dcs_util.Checksum}): 32 bits per message. Metered separately
+    from the payload so fault-tolerant pipelines report the same first-send
+    payload bits as their idealized counterparts. *)
+
+val digraph_frame_bits : Dcs_graph.Digraph.t -> int
+(** [digraph_encoding_bits] + [checksum_bits]: the canonical size of one
+    checksummed sketch message on a lossy channel. *)
+
+val ugraph_frame_bits : Dcs_graph.Ugraph.t -> int
+
 val median_boost : t list -> t
 (** The paper's footnote-2 amplification: run O(1) independent sketches and
     answer each query with the median estimate, boosting per-cut success

@@ -1,0 +1,16 @@
+(* Bitwise (table-free) reflected CRC-32; message sizes here are small
+   enough that the 8-iteration inner loop is not worth a lookup table. *)
+
+let crc32 s =
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun c ->
+      crc := !crc lxor Char.code c;
+      for _ = 1 to 8 do
+        if !crc land 1 = 1 then crc := (!crc lsr 1) lxor 0xEDB88320
+        else crc := !crc lsr 1
+      done)
+    s;
+  !crc lxor 0xFFFFFFFF
+
+let bits = 32

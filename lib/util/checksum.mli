@@ -1,0 +1,14 @@
+(** CRC-32 message checksums for the fault-injection layer.
+
+    Lossy channels can corrupt messages in flight; receivers detect this by
+    framing every canonical encoding with a CRC-32 (IEEE 802.3, reflected
+    polynomial 0xEDB88320). A CRC with a multi-term generator polynomial
+    detects {e every} single-bit error and all burst errors up to 32 bits —
+    the guarantee the qcheck property test exercises bit by bit. *)
+
+val crc32 : string -> int
+(** CRC-32 of the whole string, in [0, 2^32). [crc32 "123456789" =
+    0xCBF43926] (the standard check value). *)
+
+val bits : int
+(** Canonical size of a checksum field: 32. *)

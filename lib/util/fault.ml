@@ -1,0 +1,81 @@
+type policy = {
+  drop_rate : float;
+  corrupt_rate : float;
+  timeout_rate : float;
+  lie_rate : float;
+}
+
+let no_faults =
+  { drop_rate = 0.0; corrupt_rate = 0.0; timeout_rate = 0.0; lie_rate = 0.0 }
+
+let check_rate name r =
+  if not (r >= 0.0 && r <= 1.0) then
+    invalid_arg (Printf.sprintf "Fault.policy: %s rate must be in [0, 1]" name)
+
+let policy ?(drop = 0.0) ?(corrupt = 0.0) ?(timeout = 0.0) ?(lie = 0.0) () =
+  check_rate "drop" drop;
+  check_rate "corrupt" corrupt;
+  check_rate "timeout" timeout;
+  check_rate "lie" lie;
+  { drop_rate = drop; corrupt_rate = corrupt; timeout_rate = timeout; lie_rate = lie }
+
+type t = {
+  policy : policy;
+  stream : Prng.t;
+  mutable drops : int;
+  mutable corruptions : int;
+  mutable timeouts : int;
+  mutable lies : int;
+}
+
+let make policy stream =
+  { policy; stream; drops = 0; corruptions = 0; timeouts = 0; lies = 0 }
+
+let create policy rng = make policy (Prng.fork rng)
+
+(* Inert by construction: every rate is 0, so no event ever reaches the
+   stream or a counter — sharing the single value is safe. *)
+let disabled = make no_faults (Prng.create 0)
+
+let split t i = make t.policy (Prng.split t.stream i)
+
+let policy_of t = t.policy
+
+let active t =
+  t.policy.drop_rate > 0.0 || t.policy.corrupt_rate > 0.0
+  || t.policy.timeout_rate > 0.0 || t.policy.lie_rate > 0.0
+
+(* A zero rate must not consume from the stream: that is what makes a
+   fault-wrapped run with [no_faults] bit-identical to the unwrapped run. *)
+let fire t rate bump =
+  rate > 0.0
+  && begin
+       let hit = rate >= 1.0 || Prng.bernoulli t.stream rate in
+       if hit then bump ();
+       hit
+     end
+
+let drops_message t =
+  fire t t.policy.drop_rate (fun () -> t.drops <- t.drops + 1)
+
+let corrupts_message t =
+  fire t t.policy.corrupt_rate (fun () -> t.corruptions <- t.corruptions + 1)
+
+let times_out t =
+  fire t t.policy.timeout_rate (fun () -> t.timeouts <- t.timeouts + 1)
+
+let lies t = fire t t.policy.lie_rate (fun () -> t.lies <- t.lies + 1)
+
+let draw_int t n = Prng.int t.stream n
+
+type counts = {
+  drops : int;
+  corruptions : int;
+  timeouts : int;
+  lies : int;
+}
+
+let counts (t : t) =
+  { drops = t.drops; corruptions = t.corruptions; timeouts = t.timeouts; lies = t.lies }
+
+let total_injected (t : t) = t.drops + t.corruptions + t.timeouts + t.lies

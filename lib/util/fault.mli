@@ -1,0 +1,85 @@
+(** Deterministic, seed-driven fault injection.
+
+    The paper's protocols run over an idealized medium: sketches arrive
+    intact and every local query is answered, correctly. This module is the
+    adversarial medium — message drops, bit corruptions, query timeouts and
+    lying answers, each fired independently per event at a configurable
+    rate — implemented so that faulty runs stay exactly as reproducible as
+    clean ones:
+
+    - every injector owns a private {!Prng} stream ({!create} forks it off
+      the caller's generator), so fault decisions never perturb the
+      algorithm's own randomness;
+    - a rate of 0 short-circuits before touching the stream, so a policy
+      of all-zero rates consumes nothing and a wrapped run is bit-identical
+      to the unwrapped one;
+    - {!split} derives indexed child injectors the same way {!Prng.split}
+      derives child streams, so per-trial or per-shard fault sequences are
+      pure functions of (master seed, index) — independent of scheduling
+      and of [DCS_DOMAINS].
+
+    Counters record every fault actually injected, for the robustness
+    overhead tables of experiment E16. *)
+
+type policy = {
+  drop_rate : float;     (** probability a message delivery is dropped *)
+  corrupt_rate : float;  (** probability a delivered message is bit-flipped *)
+  timeout_rate : float;  (** probability a query times out (no answer) *)
+  lie_rate : float;      (** probability a query answer is wrong *)
+}
+
+val no_faults : policy
+(** All rates zero. *)
+
+val policy :
+  ?drop:float -> ?corrupt:float -> ?timeout:float -> ?lie:float -> unit -> policy
+(** Missing rates default to 0; each rate must lie in [0, 1]. *)
+
+type t
+
+val create : policy -> Prng.t -> t
+(** [create p rng] forks a private fault stream off [rng] (advancing
+    [rng]), with fresh counters. *)
+
+val disabled : t
+(** The canonical inactive injector: [no_faults] rates, never draws, never
+    counts. Safe to share (even across domains) precisely because it is
+    inert. *)
+
+val split : t -> int -> t
+(** [split t i] is the [i]-th child injector: same policy, stream
+    [Prng.split] from [t]'s (without advancing it), fresh counters. *)
+
+val policy_of : t -> policy
+
+val active : t -> bool
+(** Whether any rate is positive. *)
+
+(** {2 Event draws}
+
+    Each returns whether the fault fires, drawing from the private stream
+    only when the corresponding rate is positive, and bumping the matching
+    counter when it fires. *)
+
+val drops_message : t -> bool
+val corrupts_message : t -> bool
+val times_out : t -> bool
+val lies : t -> bool
+
+val draw_int : t -> int -> int
+(** Uniform in [0, n) from the fault stream — used to pick corrupted bit
+    positions and fabricated answers; requires [n > 0]. *)
+
+(** {2 Accounting} *)
+
+type counts = {
+  drops : int;
+  corruptions : int;
+  timeouts : int;
+  lies : int;
+}
+
+val counts : t -> counts
+
+val total_injected : t -> int
+(** Sum of all four counters. *)

@@ -1,0 +1,37 @@
+type 'a outcome = {
+  value : 'a option;
+  attempts : int;
+  backoff_units : int;
+}
+
+let with_budget ~budget f =
+  if budget < 1 then invalid_arg "Retry.with_budget: budget must be >= 1";
+  let rec go attempt backoff =
+    match f ~attempt with
+    | Some _ as v -> { value = v; attempts = attempt + 1; backoff_units = backoff }
+    | None ->
+        if attempt + 1 >= budget then
+          { value = None; attempts = attempt + 1; backoff_units = backoff }
+        else go (attempt + 1) (backoff + (1 lsl attempt))
+  in
+  go 0 0
+
+let majority ~k f =
+  if k < 1 then invalid_arg "Retry.majority: k must be >= 1";
+  (* First-seen order; k is small (typically 1 or 3), so an assoc list is
+     plenty and keeps ties deterministic. *)
+  let tally = ref [] in
+  for i = 0 to k - 1 do
+    match f i with
+    | None -> ()
+    | Some v -> (
+        match List.find_opt (fun (v', _) -> v' = v) !tally with
+        | Some _ ->
+            tally :=
+              List.map (fun (v', c) -> if v' = v then (v', c + 1) else (v', c)) !tally
+        | None -> tally := !tally @ [ (v, 1) ])
+  done;
+  List.fold_left
+    (fun best (v, c) ->
+      match best with Some (_, bc) when bc >= c -> best | _ -> Some (v, c))
+    None !tally

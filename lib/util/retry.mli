@@ -1,0 +1,26 @@
+(** Bounded retry with (simulated) exponential backoff, and majority
+    voting — the two recovery mechanisms the fault-tolerant protocol layers
+    share.
+
+    There is no wall clock in these simulations, so backoff is virtual:
+    a failed attempt [a] (0-based) charges [2^a] backoff units before the
+    next try, and the total is reported so experiments can compare recovery
+    latency across fault rates. The attempt count {e never} exceeds the
+    budget — a property test enforces this. *)
+
+type 'a outcome = {
+  value : 'a option;       (** first successful answer, if any *)
+  attempts : int;          (** calls made: in [1, budget] *)
+  backoff_units : int;     (** Σ 2^a over failed attempts that were retried *)
+}
+
+val with_budget : budget:int -> (attempt:int -> 'a option) -> 'a outcome
+(** [with_budget ~budget f] calls [f ~attempt:0], [f ~attempt:1], … until
+    [f] returns [Some _] or [budget] calls have been made. Requires
+    [budget >= 1]. *)
+
+val majority : k:int -> (int -> 'a option) -> ('a * int) option
+(** [majority ~k f] collects [f 0 .. f (k-1)] ([None]s abstain) and returns
+    the most frequent answer with its vote count (first-seen wins ties,
+    polymorphic equality); [None] when every voter abstained. Requires
+    [k >= 1]. *)

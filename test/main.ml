@@ -8,6 +8,7 @@ let () =
       ("mincut", Test_mincut.suite);
       ("mincut-agreement", Test_mincut_agreement.suite);
       ("comm", Test_comm.suite);
+      ("fault", Test_fault.suite);
       ("sketch", Test_sketch.suite);
       ("foreach_lb", Test_foreach_lb.suite);
       ("forall_lb", Test_forall_lb.suite);

@@ -108,6 +108,94 @@ let test_coordinator_weighted_graph () =
   Alcotest.(check bool) "weighted close" true
     (Float.abs (r.Coordinator.estimate -. exact) <= (0.35 *. exact) +. 1e-9)
 
+(* --- Config validation --- *)
+
+let test_coordinator_validate () =
+  let cfg = Coordinator.default_config ~eps:0.3 in
+  Coordinator.validate cfg;
+  let raises msg bad =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        Coordinator.validate bad)
+  in
+  raises "Coordinator: eps must be in (0, 1)" { cfg with Coordinator.eps = 0.0 };
+  raises "Coordinator: eps must be in (0, 1)" { cfg with Coordinator.eps = 1.0 };
+  raises "Coordinator: eps_coarse must be positive"
+    { cfg with Coordinator.eps_coarse = 0.0 };
+  raises "Coordinator: karger_trials must be >= 1"
+    { cfg with Coordinator.karger_trials = 0 };
+  raises "Coordinator: candidate_factor must be >= 1.0"
+    { cfg with Coordinator.candidate_factor = 0.9 };
+  (* Both entry points validate before doing any work. *)
+  let g = planted 30 in
+  let shards = Partition.random (Prng.create 31) ~servers:2 g in
+  Alcotest.check_raises "min_cut validates"
+    (Invalid_argument "Coordinator: karger_trials must be >= 1") (fun () ->
+      ignore
+        (Coordinator.min_cut (Prng.create 32)
+           { cfg with Coordinator.karger_trials = -3 }
+           shards))
+
+(* --- Fault-tolerant pipeline --- *)
+
+let test_robust_disabled_matches_min_cut () =
+  (* Same seed, fault injection disabled: the robust pipeline must be
+     bit-identical to the idealized one — estimates AND metered bits. *)
+  let g = planted 33 in
+  let shards = Partition.random (Prng.create 34) ~servers:3 g in
+  let cfg = Coordinator.default_config ~eps:0.3 in
+  let plain = Coordinator.min_cut (Prng.create 35) cfg shards in
+  let robust = Coordinator.min_cut_robust (Prng.create 35) cfg ~fault:Fault.disabled shards in
+  Alcotest.(check bool) "base result identical" true (plain = robust.Coordinator.base);
+  let rep = robust.Coordinator.report in
+  Alcotest.(check int) "no retransmissions" 0 rep.Coordinator.retransmissions;
+  Alcotest.(check int) "no retransmit bits" 0 rep.Coordinator.retransmit_bits;
+  Alcotest.(check bool) "not degraded" false rep.Coordinator.degraded;
+  Alcotest.(check (float 1e-9)) "eps unchanged" cfg.Coordinator.eps
+    rep.Coordinator.eps_effective
+
+let test_robust_recovers_under_drops () =
+  (* Moderate loss: retransmission should recover every sketch and the
+     estimate should stay close — robustness pays bits, not accuracy. *)
+  let g = planted 36 in
+  let exact = Stoer_wagner.mincut_value g in
+  let rng = Prng.create 37 in
+  let shards = Partition.random rng ~servers:3 g in
+  let cfg = Coordinator.default_config ~eps:0.3 in
+  let fault = Fault.create (Fault.policy ~drop:0.2 ~corrupt:0.1 ()) rng in
+  let r = Coordinator.min_cut_robust rng cfg ~fault shards in
+  let rep = r.Coordinator.report in
+  Alcotest.(check bool) "faults were injected" true
+    (rep.Coordinator.drops_seen + rep.Coordinator.corruptions_detected > 0);
+  Alcotest.(check bool) "recovered by retransmission" true
+    (rep.Coordinator.retransmissions > 0);
+  Alcotest.(check int) "nothing lost" 0
+    (rep.Coordinator.coarse_lost + rep.Coordinator.fine_lost);
+  Alcotest.(check bool) "retransmit bits metered" true
+    (rep.Coordinator.retransmit_bits > 0);
+  Alcotest.(check bool) "estimate still close" true
+    (Float.abs (r.Coordinator.base.Coordinator.estimate -. exact)
+     <= (0.5 *. exact) +. 1e-9)
+
+let test_robust_degrades_past_budget () =
+  (* retry_budget 0 under heavy loss: some sketches are abandoned and the
+     coordinator degrades instead of failing, widening its error bound. *)
+  let g = planted 38 in
+  let rng = Prng.create 39 in
+  let shards = Partition.random rng ~servers:4 g in
+  let cfg = Coordinator.default_config ~eps:0.3 in
+  let fault = Fault.create (Fault.policy ~drop:0.6 ()) rng in
+  let r = Coordinator.min_cut_robust ~retry_budget:0 rng cfg ~fault shards in
+  let rep = r.Coordinator.report in
+  Alcotest.(check bool) "sketches lost" true
+    (rep.Coordinator.coarse_lost + rep.Coordinator.fine_lost > 0);
+  Alcotest.(check bool) "degraded flagged" true rep.Coordinator.degraded;
+  Alcotest.(check bool) "no retries allowed" true (rep.Coordinator.retransmissions = 0);
+  if rep.Coordinator.fine_lost > 0 then
+    Alcotest.(check bool) "error bound widened" true
+      (rep.Coordinator.eps_effective > cfg.Coordinator.eps);
+  Alcotest.(check bool) "still produced an estimate" true
+    (r.Coordinator.base.Coordinator.estimate > 0.0)
+
 (* qcheck: the refined estimate never undercuts the true minimum cut by
    more than the sketch error (the candidate is a real cut, whose true
    value is >= mincut; the for-each estimate is within ~eps of it). *)
@@ -135,5 +223,9 @@ let suite =
     Alcotest.test_case "coordinator: single shard" `Quick test_coordinator_single_shard_matches;
     Alcotest.test_case "coordinator: empty shard" `Quick test_coordinator_empty_shard_tolerated;
     Alcotest.test_case "coordinator: weighted" `Quick test_coordinator_weighted_graph;
+    Alcotest.test_case "coordinator: validates config" `Quick test_coordinator_validate;
+    Alcotest.test_case "robust: disabled = min_cut" `Quick test_robust_disabled_matches_min_cut;
+    Alcotest.test_case "robust: recovers under drops" `Quick test_robust_recovers_under_drops;
+    Alcotest.test_case "robust: degrades past budget" `Quick test_robust_degrades_past_budget;
     QCheck_alcotest.to_alcotest prop_estimate_lower_bounded;
   ]

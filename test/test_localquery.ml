@@ -284,6 +284,89 @@ let test_reduction_exact_at_full_read () =
   Alcotest.(check (float 1e-9)) "exact" 0.0 r.Reduction.additive_error
 
 (* qcheck: Lemma 5.5 on random promise instances. *)
+(* --- Faulty oracle --- *)
+
+let test_oracle_negative_index_raises () =
+  (* Regression: a negative slot index is a caller bug, not query 0 — it
+     must raise without touching the meters. *)
+  let o = Oracle.create (triangle ()) in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Oracle.ith_neighbor: negative index") (fun () ->
+      ignore (Oracle.ith_neighbor o 0 (-1)));
+  Alcotest.(check int) "meters untouched" 0 (Oracle.total_queries o)
+
+let test_faulty_oracle_disabled_bit_identical () =
+  (* With Fault.disabled the wrapped estimator must be bit-identical to
+     the unwrapped one: same estimate AND same metered query counts. *)
+  let g = planted 20 in
+  let run faulty_of =
+    let rng = Prng.create 21 in
+    let o = Oracle.create g in
+    let r = Estimator.estimate ?faulty:(faulty_of o) rng o ~eps:0.5 ~mode:Estimator.Modified in
+    (r.Estimator.estimate, r.Estimator.total_queries, r.Estimator.degree_queries,
+     Oracle.comm_bits o)
+  in
+  let plain = run (fun _ -> None) in
+  let fo = ref None in
+  let wrapped =
+    run (fun o ->
+        let f = Faulty_oracle.create Fault.disabled o in
+        fo := Some f;
+        Some f)
+  in
+  Alcotest.(check bool) "identical (estimate, queries, bits)" true (plain = wrapped);
+  let stats = Faulty_oracle.stats (Option.get !fo) in
+  Alcotest.(check int) "no retries" 0 stats.Faulty_oracle.retries;
+  Alcotest.(check int) "no backoff" 0 stats.Faulty_oracle.backoff_units
+
+let test_faulty_oracle_timeout_exhausts () =
+  (* Every query times out: the retry budget runs dry and the wrapper
+     raises instead of silently answering. *)
+  let rng = Prng.create 22 in
+  let g = planted 23 in
+  let o = Oracle.create g in
+  let fault = Fault.create (Fault.policy ~timeout:1.0 ()) rng in
+  let fo = Faulty_oracle.create ~retry_budget:3 fault o in
+  (match Estimator.estimate ~faulty:fo rng o ~eps:1.0 ~mode:Estimator.Modified with
+  | _ -> Alcotest.fail "estimator survived a fully dead oracle"
+  | exception Faulty_oracle.Exhausted _ -> ());
+  (* Timed-out queries were still issued and paid for. *)
+  Alcotest.(check bool) "queries metered" true (Oracle.total_queries o > 0)
+
+let test_faulty_oracle_wrapper_mismatch_rejected () =
+  let g = planted 24 in
+  let o = Oracle.create g in
+  let other = Oracle.create g in
+  let fo = Faulty_oracle.create Fault.disabled other in
+  Alcotest.check_raises "wrapper must wrap the given oracle"
+    (Invalid_argument "Estimator.estimate: faulty wrapper must wrap the given oracle")
+    (fun () ->
+      ignore (Estimator.estimate ~faulty:fo (Prng.create 0) o ~eps:1.0
+                ~mode:Estimator.Modified))
+
+let test_faulty_oracle_majority_vote_domain_independent () =
+  (* The majority-vote estimator fans trials over domains; explicit domain
+     counts (not the DCS_DOMAINS env) so the test pins 1 vs 4 regardless
+     of environment. Results must be bit-identical. *)
+  let g = planted 25 in
+  let trial t =
+    let rng = Prng.create (1000 + t) in
+    let o = Oracle.create g in
+    let fault = Fault.create (Fault.policy ~timeout:0.1 ~lie:0.05 ()) rng in
+    let fo = Faulty_oracle.create fault o in
+    match Estimator.estimate ~faulty:fo rng o ~eps:1.0 ~mode:Estimator.Modified with
+    | r ->
+        let s = Faulty_oracle.stats fo in
+        (r.Estimator.estimate, r.Estimator.total_queries,
+         s.Faulty_oracle.retries, s.Faulty_oracle.votes_cast)
+    | exception Faulty_oracle.Exhausted _ -> (-1.0, 0, 0, 0)
+  in
+  let seq = Pool.parallel_init ~domains:1 ~n:6 trial in
+  let par = Pool.parallel_init ~domains:4 ~n:6 trial in
+  Alcotest.(check bool) "1 domain = 4 domains" true (seq = par);
+  Alcotest.(check bool) "votes were cast" true
+    (Array.exists (fun (_, _, _, v) -> v > 0) seq)
+
 let prop_lemma55 =
   QCheck.Test.make ~name:"Lemma 5.5: MINCUT = 2·INT" ~count:10
     QCheck.(int_bound 100000)
@@ -327,5 +410,10 @@ let suite =
     Alcotest.test_case "reduction: solves 2-SUM" `Quick test_reduction_solves_two_sum;
     Alcotest.test_case "reduction: hypothesis check" `Quick test_reduction_rejects_bad_instances;
     Alcotest.test_case "reduction: exact at full read" `Quick test_reduction_exact_at_full_read;
+    Alcotest.test_case "oracle: negative index raises" `Quick test_oracle_negative_index_raises;
+    Alcotest.test_case "faulty-oracle: disabled bit-identical" `Quick test_faulty_oracle_disabled_bit_identical;
+    Alcotest.test_case "faulty-oracle: timeout exhausts" `Quick test_faulty_oracle_timeout_exhausts;
+    Alcotest.test_case "faulty-oracle: wrapper mismatch" `Quick test_faulty_oracle_wrapper_mismatch_rejected;
+    Alcotest.test_case "faulty-oracle: vote domain-independent" `Quick test_faulty_oracle_majority_vote_domain_independent;
     QCheck_alcotest.to_alcotest prop_lemma55;
   ]

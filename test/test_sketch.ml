@@ -91,6 +91,65 @@ let test_noisy_oracle_zero_eps_exact () =
   let sk = Noisy_oracle.create rng ~eps:0.0 g in
   check_float "exact at eps 0" 7.0 (sk.Sketch.query (Cut.singleton ~n:2 0))
 
+let test_noisy_oracle_zero_weight_cut () =
+  (* A zero cut must come back as exactly 0 in every mode: multiplicative
+     noise has nothing to scale, so no mode may fabricate weight. *)
+  let rng = Prng.create 30 in
+  (* Only the 1 -> 0 edge: the directed cut ({0}, {1}) is 0. *)
+  let g = Digraph.of_edges 2 [ (1, 0, 10.0) ] in
+  let zero_cut = Cut.singleton ~n:2 0 in
+  List.iter
+    (fun mode ->
+      let sk = Noisy_oracle.create ~mode rng ~eps:0.9 g in
+      for _ = 1 to 10 do
+        check_float "zero cut stays zero" 0.0 (sk.Sketch.query zero_cut)
+      done)
+    [ Noisy_oracle.Random; Noisy_oracle.Adversarial;
+      Noisy_oracle.Deterministic_up; Noisy_oracle.Deterministic_down ]
+
+let test_noisy_oracle_extreme_noise () =
+  (* eps = 0.99 is legal and the (1 ± eps) envelope still holds; answers
+     stay strictly positive on nonzero cuts (the factor can't reach 0). *)
+  let rng = Prng.create 31 in
+  let g = Generators.random_digraph rng ~n:8 ~p:0.5 ~max_weight:2.0 in
+  let sk = Noisy_oracle.create ~mode:Noisy_oracle.Adversarial rng ~eps:0.99 g in
+  for _ = 1 to 50 do
+    let c = Cut.random rng ~n:8 in
+    let truth = Cut.value g c in
+    let est = sk.Sketch.query c in
+    Alcotest.(check bool) "within (1±0.99)" true
+      (est >= (0.01 *. truth) -. 1e-9 && est <= (1.99 *. truth) +. 1e-9);
+    if truth > 0.0 then
+      Alcotest.(check bool) "never zeroed out" true (est > 0.0)
+  done
+
+let test_noisy_oracle_rejects_bad_eps () =
+  let rng = Prng.create 32 in
+  let g = Digraph.of_edges 2 [ (0, 1, 1.0) ] in
+  let bad eps =
+    Alcotest.check_raises "eps in [0,1)"
+      (Invalid_argument "Noisy_oracle.create: eps in [0,1)") (fun () ->
+        ignore (Noisy_oracle.create rng ~eps g))
+  in
+  bad 1.0;
+  bad 1.5;
+  bad (-0.01)
+
+let test_frame_bits_are_encoding_plus_checksum () =
+  let rng = Prng.create 33 in
+  let g = Generators.erdos_renyi_connected rng ~n:12 ~p:0.3 in
+  let dg = Generators.random_digraph rng ~n:9 ~p:0.4 ~max_weight:2.0 in
+  Alcotest.(check int) "ugraph frame"
+    (Sketch.ugraph_encoding_bits g + Checksum.bits)
+    (Sketch.ugraph_frame_bits g);
+  Alcotest.(check int) "digraph frame"
+    (Sketch.digraph_encoding_bits dg + Checksum.bits)
+    (Sketch.digraph_frame_bits dg);
+  (* And the frame itself round-trips the graph. *)
+  match Serialize.ugraph_of_frame (Serialize.ugraph_to_frame g) with
+  | Ok g' -> Alcotest.(check bool) "roundtrip" true (Ugraph.equal g g')
+  | Error e -> Alcotest.failf "clean frame rejected: %s" e
+
 (* --- Strength (Nagamochi–Ibaraki) --- *)
 
 let test_strength_tree_all_one () =
@@ -393,6 +452,10 @@ let suite =
     Alcotest.test_case "noisy oracle: bounds" `Quick test_noisy_oracle_bounds;
     Alcotest.test_case "noisy oracle: deterministic" `Quick test_noisy_oracle_deterministic_modes;
     Alcotest.test_case "noisy oracle: eps 0" `Quick test_noisy_oracle_zero_eps_exact;
+    Alcotest.test_case "noisy oracle: zero-weight cut" `Quick test_noisy_oracle_zero_weight_cut;
+    Alcotest.test_case "noisy oracle: extreme noise" `Quick test_noisy_oracle_extreme_noise;
+    Alcotest.test_case "noisy oracle: rejects bad eps" `Quick test_noisy_oracle_rejects_bad_eps;
+    Alcotest.test_case "frame bits: encoding + checksum" `Quick test_frame_bits_are_encoding_plus_checksum;
     Alcotest.test_case "strength: tree" `Quick test_strength_tree_all_one;
     Alcotest.test_case "strength: complete graph" `Quick test_strength_complete_graph;
     Alcotest.test_case "strength: weighted multiplicity" `Quick test_strength_weighted_multiplicity;
