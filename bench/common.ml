@@ -19,3 +19,43 @@ let seed_of_experiment id =
   1000 + id
 
 let rng_for id = Prng.create (seed_of_experiment id)
+
+(* --- checkpoint/resume plumbing (set by bench/main.ml's CLI) ---
+
+   All checkpoint chatter goes to stderr: stdout carries only the result
+   tables, so a resumed run's stdout is byte-identical to an uninterrupted
+   one (bin/check_determinism.sh diffs exactly that). *)
+
+let checkpoint_dir : string option ref = ref None
+let resume_requested = ref false
+
+(* Global countdown for --abort-after: simulated-kill threshold shared by
+   every sweep of the selected experiments, so "interrupt after N trials"
+   means N trials into the whole run, wherever that lands. *)
+let abort_countdown : int option ref = ref None
+
+let checkpoint_path name =
+  Option.map (fun dir -> Filename.concat dir (name ^ ".ckpt")) !checkpoint_dir
+
+let sweep ~name ~signature ?block ?domains ?restart_budget ?deadline ~encode
+    ~decode ~rng ~n task =
+  let path = checkpoint_path name in
+  let results, (rep : Checkpoint.sweep_report) =
+    Checkpoint.sweep ?path ~signature ~resume:!resume_requested ?block
+      ?abort_after:!abort_countdown ?domains ?restart_budget ?deadline ~encode
+      ~decode ~rng ~n task
+  in
+  (match !abort_countdown with
+  | Some a -> abort_countdown := Some (max 0 (a - rep.Checkpoint.computed))
+  | None -> ());
+  (match rep.Checkpoint.discarded with
+  | Some why ->
+      Printf.eprintf "  [checkpoint %s: snapshot rejected — %s]\n%!" name why
+  | None -> ());
+  if rep.Checkpoint.resumed > 0 then
+    Printf.eprintf "  [checkpoint %s: resumed %d/%d trials]\n%!" name
+      rep.Checkpoint.resumed n;
+  if rep.Checkpoint.crashes + rep.Checkpoint.hangs > 0 then
+    Printf.eprintf "  [supervisor %s: %d crashes, %d hangs, %d restarts]\n%!"
+      name rep.Checkpoint.crashes rep.Checkpoint.hangs rep.Checkpoint.restarts;
+  (results, rep)

@@ -5,15 +5,51 @@
    flaky oracle (timeouts + lies, retry-with-backoff + majority vote) and
    reports the measured query overhead factor vs the Õ(m/(ε²k)) budget.
 
-   Determinism: trial t of each sweep row draws from Prng.split of a
-   per-row master, and every fault injector forks off that trial stream —
-   the tables are byte-identical at every DCS_DOMAINS setting
-   (bin/check_determinism.sh diffs this experiment too). *)
+   Both sweeps run under the supervised trial engine through
+   Common.sweep, so they are checkpoint/resumable: with --checkpoint DIR
+   every completed trial is snapshotted atomically, and an interrupted run
+   restarted with --resume recomputes only the missing trials — stdout is
+   byte-identical either way.
+
+   Determinism: trial t of each sweep row runs on the stream
+   Prng.split (Prng.split mrow t) 0 (the supervised engine's task stream),
+   and every fault injector forks off that stream — the tables are
+   byte-identical at every DCS_DOMAINS setting and across any
+   interrupt/resume pattern (bin/check_determinism.sh checks both). *)
 
 open Dcs
 
 let trials_a = 24
 let trials_b = 16
+
+(* Exact textual round-trips for checkpointed trial results: %h floats are
+   lossless, so a resumed trial is bit-identical to a recomputed one. *)
+
+let encode_a = function
+  | None -> "fail"
+  | Some (est, retrans, lost, degraded, rbits, pbits) ->
+      Printf.sprintf "ok %h %d %d %d %d %d" est retrans lost
+        (if degraded then 1 else 0)
+        rbits pbits
+
+let decode_a s =
+  if s = "fail" then Some None
+  else
+    try
+      Scanf.sscanf s "ok %h %d %d %d %d %d" (fun est retrans lost deg rb pb ->
+          Some (Some (est, retrans, lost, deg = 1, rb, pb)))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let encode_b = function
+  | None -> "exhausted"
+  | Some (est, queries, retries) -> Printf.sprintf "ok %h %d %d" est queries retries
+
+let decode_b s =
+  if s = "exhausted" then Some None
+  else
+    try
+      Scanf.sscanf s "ok %h %d %d" (fun est q r -> Some (Some (est, q, r)))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
 
 let run () =
   Common.section "E16 Fault injection — robustness overhead vs fault rate";
@@ -43,43 +79,54 @@ let run () =
     (fun row p ->
       let mrow = Prng.split master_a row in
       (* The pipeline itself fans its contraction trials over domains, so
-         the sweep rows run sequentially; determinism is per-trial. *)
-      let results =
-        Array.init trials_a (fun t ->
-            let rng = Prng.split mrow t in
+         the sweep trials run sequentially (domains 1); supervision and
+         checkpointing still apply per trial. *)
+      let results, _ =
+        Common.sweep
+          ~name:(Printf.sprintf "e16a_r%d" row)
+          ~signature:
+            (Printf.sprintf "E16A seed=%d row=%d p=%.2f trials=%d"
+               (Common.seed_of_experiment 16) row p trials_a)
+          ~block:8 ~domains:1 ~encode:encode_a ~decode:decode_a ~rng:mrow
+          ~n:trials_a
+          (fun ctx ->
+            let rng = ctx.Pool.rng in
             let fault = Fault.create (Fault.policy ~drop:p ~corrupt:p ()) rng in
-            try Some (Coordinator.min_cut_robust rng cfg ~fault shards)
-            with Failure _ | Invalid_argument _ -> None)
+            match Coordinator.min_cut_robust rng cfg ~fault shards with
+            | r ->
+                Some
+                  ( r.Coordinator.base.Coordinator.estimate,
+                    r.Coordinator.report.Coordinator.retransmissions,
+                    r.Coordinator.report.Coordinator.coarse_lost
+                    + r.Coordinator.report.Coordinator.fine_lost,
+                    r.Coordinator.report.Coordinator.degraded,
+                    r.Coordinator.report.Coordinator.retransmit_bits,
+                    r.Coordinator.base.Coordinator.total_bits )
+            | exception (Failure _ | Invalid_argument _) -> None)
       in
-      let decode_ok = Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results in
+      let decode_ok =
+        Array.fold_left (fun a r -> if r <> None then a + 1 else a) 0 results
+      in
       let est_ok =
         Array.fold_left
           (fun a r ->
             match r with
-            | Some r
-              when Float.abs (r.Coordinator.base.Coordinator.estimate -. exact)
-                   <= 0.5 *. exact ->
+            | Some (est, _, _, _, _, _) when Float.abs (est -. exact) <= 0.5 *. exact
+              ->
                 a + 1
             | _ -> a)
           0 results
       in
       let sum f =
         Array.fold_left
-          (fun a r -> match r with Some r -> a + f r.Coordinator.report | None -> a)
+          (fun a r -> match r with Some v -> a + f v | None -> a)
           0 results
       in
-      let retrans = sum (fun rep -> rep.Coordinator.retransmissions) in
-      let lost =
-        sum (fun rep -> rep.Coordinator.coarse_lost + rep.Coordinator.fine_lost)
-      in
-      let degraded = sum (fun rep -> if rep.Coordinator.degraded then 1 else 0) in
-      let retrans_bits = sum (fun rep -> rep.Coordinator.retransmit_bits) in
-      let payload_bits =
-        Array.fold_left
-          (fun a r ->
-            match r with Some r -> a + r.Coordinator.base.Coordinator.total_bits | None -> a)
-          0 results
-      in
+      let retrans = sum (fun (_, retrans, _, _, _, _) -> retrans) in
+      let lost = sum (fun (_, _, lost, _, _, _) -> lost) in
+      let degraded = sum (fun (_, _, _, deg, _, _) -> if deg then 1 else 0) in
+      let retrans_bits = sum (fun (_, _, _, _, rbits, _) -> rbits) in
+      let payload_bits = sum (fun (_, _, _, _, _, pbits) -> pbits) in
       let overhead =
         if payload_bits = 0 then 0.0
         else float_of_int retrans_bits /. float_of_int payload_bits
@@ -97,8 +144,9 @@ let run () =
         ])
     [ 0.0; 0.05; 0.1; 0.2; 0.3 ];
   Table.print ta;
-  Common.note "p = 0 is bit-identical to E9's idealized pipeline (same estimates,";
-  Common.note "same payload bits); overhead = retransmitted bits / first-send bits.";
+  Common.note "p = 0 runs the idealized code path (min_cut is exactly the zero-fault";
+  Common.note "instance of min_cut_robust — same estimates, same payload bits);";
+  Common.note "overhead = retransmitted bits / first-send bits.";
 
   (* --- Part B: flaky local-query oracle under the Theorem 5.7 estimator --- *)
   let g2 = Generators.planted_mincut rng0 ~block:40 ~k:6 ~p_inner:0.5 in
@@ -120,9 +168,15 @@ let run () =
   List.iteri
     (fun row (p, vote_k) ->
       let mrow = Prng.split master_b row in
-      let results =
-        Pool.parallel_init ~n:trials_b (fun t ->
-            let rng = Prng.split mrow t in
+      let results, _ =
+        Common.sweep
+          ~name:(Printf.sprintf "e16b_r%d" row)
+          ~signature:
+            (Printf.sprintf "E16B seed=%d row=%d p=%.2f vote=%d trials=%d"
+               (Common.seed_of_experiment 16) row p vote_k trials_b)
+          ~block:8 ~encode:encode_b ~decode:decode_b ~rng:mrow ~n:trials_b
+          (fun ctx ->
+            let rng = ctx.Pool.rng in
             let fault =
               Fault.create (Fault.policy ~timeout:p ~lie:(p /. 2.0) ()) rng
             in

@@ -4,7 +4,21 @@
      dune exec bench/main.exe            # all experiments
      dune exec bench/main.exe -- --only E3 E7
      dune exec bench/main.exe -- --list
-     dune exec bench/main.exe -- --skip-slow   # skip the SW-heavy ones *)
+     dune exec bench/main.exe -- --skip-slow   # skip the SW-heavy ones
+
+   Checkpoint/resume (checkpoint-aware experiments: E16, E17):
+     --checkpoint DIR     snapshot completed trials into DIR (one .ckpt
+                          file per sweep), written atomically after every
+                          block of trials
+     --resume             restore completed trials from DIR's snapshots
+                          instead of starting cold
+     --abort-after N      simulate a kill: exit with status 3 once N
+                          trials have been newly computed and checkpointed
+                          (used by bin/check_determinism.sh's
+                          kill-then-resume cycle)
+
+   Checkpoint chatter goes to stderr; stdout is byte-identical between a
+   resumed run and an uninterrupted one. *)
 
 let experiments =
   [
@@ -24,9 +38,11 @@ let experiments =
     ("E14", "Cut counting / enumeration coverage", false, Exp_cut_counting.run);
     ("E15", "Imbalance decomposition sketch", false, Exp_imbalance.run);
     ("E16", "Fault injection: robustness overhead", false, Exp_fault.run);
+    ("E17", "Chaos harness: supervision + checkpoint recovery", false, Exp_chaos.run);
   ]
 
 let () =
+  Printexc.record_backtrace true;
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse only skip_slow = function
     | [] -> (only, skip_slow)
@@ -37,6 +53,21 @@ let () =
           experiments;
         exit 0
     | "--skip-slow" :: rest -> parse only true rest
+    | "--checkpoint" :: dir :: rest ->
+        Common.checkpoint_dir := Some dir;
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        parse only skip_slow rest
+    | "--resume" :: rest ->
+        Common.resume_requested := true;
+        parse only skip_slow rest
+    | "--abort-after" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            Common.abort_countdown := Some n;
+            parse only skip_slow rest
+        | _ ->
+            Printf.eprintf "--abort-after needs a nonnegative integer\n";
+            exit 2)
     | "--only" :: rest ->
         let ids, rest' =
           let rec take acc = function
@@ -51,20 +82,31 @@ let () =
         exit 2
   in
   let only, skip_slow = parse [] false args in
+  if !Common.abort_countdown <> None && !Common.checkpoint_dir = None then begin
+    Printf.eprintf "--abort-after requires --checkpoint\n";
+    exit 2
+  end;
   print_endline
     "Reproduction benchmarks: Tight Lower Bounds for Directed Cut \
      Sparsification and Distributed Min-Cut (PODS 2024)";
   let started = Sys.time () in
-  List.iter
-    (fun (id, _, slow, run) ->
-      let selected =
-        (match only with [] -> true | ids -> List.mem id ids)
-        && not (skip_slow && slow && only = [])
-      in
-      if selected then begin
-        let t0 = Sys.time () in
-        run ();
-        Printf.printf "  [%s done in %.1fs]\n" id (Sys.time () -. t0)
-      end)
-    experiments;
+  (try
+     List.iter
+       (fun (id, _, slow, run) ->
+         let selected =
+           (match only with [] -> true | ids -> List.mem id ids)
+           && not (skip_slow && slow && only = [])
+         in
+         if selected then begin
+           let t0 = Sys.time () in
+           run ();
+           Printf.printf "  [%s done in %.1fs]\n" id (Sys.time () -. t0)
+         end)
+       experiments
+   with Dcs.Checkpoint.Interrupted { path; completed_now } ->
+     Printf.eprintf
+       "\n[interrupted by --abort-after: %d trials newly checkpointed, last \
+        snapshot %s — rerun with --resume to continue]\n"
+       completed_now path;
+     exit 3);
   Printf.printf "\nall selected experiments done in %.1fs\n" (Sys.time () -. started)

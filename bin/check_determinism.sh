@@ -4,15 +4,22 @@
 # (sequential fallback) and DCS_DOMAINS=4 (parallel fan-out). Any divergence
 # means per-trial seed-splitting leaked scheduling into a result.
 #
-# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4 E16)
+# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4 E16 E17)
 #
 # E16 is in the default set because it exercises the fault-injection layer:
 # its drop/corruption/timeout/lie draws must come out of the split streams
-# identically however the trials are scheduled.
+# identically however the trials are scheduled. E17 is the chaos harness —
+# supervised restarts, checkpoint corruption recovery and stragglers all
+# have to produce the same tables at every domain count.
+#
+# The gate also runs a kill-then-resume cycle on E16 (the checkpoint-aware
+# sweep) at DCS_DOMAINS=1, 2 and 4: the run is interrupted by --abort-after
+# (exit 3, snapshots on disk), restarted with --resume, and the combined
+# stdout must be byte-identical to an uninterrupted run's.
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4 E16}"
+experiments="${*:-E3 E4 E16 E17}"
 
 echo "== building =="
 dune build bench/main.exe test/main.exe
@@ -39,9 +46,37 @@ if ! diff -u "$tmpdir/domains1.out" "$tmpdir/domains4.out"; then
 fi
 echo "experiment tables byte-identical across domain counts"
 
+echo "== kill-then-resume cycle (E16, --abort-after 30) =="
+DCS_DOMAINS=1 dune exec --no-build bench/main.exe -- --only E16 \
+    | grep -v ' done in ' > "$tmpdir/resume_ref.out"
+for d in 1 2 4; do
+    ckpt="$tmpdir/ckpt_d$d"
+    # Phase 1: simulated kill. Exit status 3 means "interrupted with the
+    # snapshot flushed"; anything else is a failure of the abort plumbing.
+    status=0
+    DCS_DOMAINS="$d" dune exec --no-build bench/main.exe -- --only E16 \
+        --checkpoint "$ckpt" --abort-after 30 \
+        > /dev/null 2> /dev/null || status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "FAIL: --abort-after exited with $status (want 3) at DCS_DOMAINS=$d" >&2
+        exit 1
+    fi
+    # Phase 2: resume from the snapshots; stdout must match the
+    # uninterrupted reference byte for byte.
+    DCS_DOMAINS="$d" dune exec --no-build bench/main.exe -- --only E16 \
+        --checkpoint "$ckpt" --resume 2> /dev/null \
+        | grep -v ' done in ' > "$tmpdir/resumed_d$d.out"
+    if ! diff -u "$tmpdir/resume_ref.out" "$tmpdir/resumed_d$d.out"; then
+        echo "FAIL: resumed run diverges from uninterrupted run at DCS_DOMAINS=$d" >&2
+        exit 1
+    fi
+    echo "  DCS_DOMAINS=$d: interrupted (exit 3), resumed, byte-identical"
+done
+echo "kill-then-resume cycle byte-identical at DCS_DOMAINS=1, 2 and 4"
+
 echo "== test suite with DCS_DOMAINS=1 =="
 DCS_DOMAINS=1 dune exec --no-build test/main.exe
 echo "== test suite with DCS_DOMAINS=4 =="
 DCS_DOMAINS=4 dune exec --no-build test/main.exe
 
-echo "OK: suite green and tables identical under DCS_DOMAINS=1 and 4"
+echo "OK: suite green, tables identical, kill/resume identical under DCS_DOMAINS=1 and 4"

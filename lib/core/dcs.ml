@@ -12,6 +12,8 @@
     - {!Fault}, {!Retry}, {!Checksum} — the deterministic fault-injection
       layer: seed-driven drop/corrupt/timeout/lie policies, bounded
       retry-with-backoff and majority voting, CRC-32 message framing.
+    - {!Checkpoint} — crash-safe, CRC-framed checkpoint/resume for
+      supervised trial sweeps (atomic snapshots, corruption rejection).
     - {!Hadamard}, {!Pm_vector}, {!Decode_matrix} — the Lemma 3.2 machinery.
     - {!Digraph}, {!Ugraph}, {!Cut}, {!Balance}, {!Generators},
       {!Traversal} — graphs and cuts.
@@ -48,6 +50,7 @@ module Message = Dcs_util.Message
 module Fault = Dcs_util.Fault
 module Retry = Dcs_util.Retry
 module Checksum = Dcs_util.Checksum
+module Checkpoint = Dcs_util.Checkpoint
 
 module Hadamard = Dcs_linalg.Hadamard
 module Pm_vector = Dcs_linalg.Pm_vector

@@ -46,6 +46,8 @@ type fault_report = {
   retransmissions : int;
   drops_seen : int;
   corruptions_detected : int;
+  stragglers : int;
+  speculative_retransmissions : int;
   coarse_lost : int;
   fine_lost : int;
   checksum_bits : int;
@@ -73,6 +75,8 @@ type 'a delivery_stats = {
   d_retrans : int;
   d_drops : int;
   d_corrupt : int;
+  d_stragglers : int;
+  d_spec : int;
   d_backoff : int;
 }
 
@@ -81,27 +85,61 @@ let deliver_sketch lossy ~fault ~retry_budget h =
   let bits = payload_bits + Sketch.checksum_bits in
   if not (Fault.active fault) then begin
     ignore (Channel.transmit lossy ~bits "");
-    { got = Some h; payload_bits; d_retrans = 0; d_drops = 0; d_corrupt = 0; d_backoff = 0 }
+    { got = Some h; payload_bits; d_retrans = 0; d_drops = 0; d_corrupt = 0;
+      d_stragglers = 0; d_spec = 0; d_backoff = 0 }
   end
   else begin
     let frame = Serialize.ugraph_to_frame h in
-    let rec go attempt drops corrupt backoff =
+    (* [late] is a straggler frame: it was delivered, but only after the
+       coordinator's per-sketch deadline (the policy's timeout rate models
+       the deadline being exceeded). The coordinator speculatively
+       re-requests instead of waiting — the late copy is kept as a fallback,
+       so a straggling shard costs speculative bits, never data. *)
+    let finish ~late attempt drops corrupt stragglers spec backoff =
+      match late with
+      | None ->
+          { got = None; payload_bits; d_retrans = retry_budget; d_drops = drops;
+            d_corrupt = corrupt; d_stragglers = stragglers; d_spec = spec;
+            d_backoff = backoff }
+      | Some s -> (
+          match Serialize.ugraph_of_frame s with
+          | Ok g ->
+              { got = Some g; payload_bits; d_retrans = min attempt retry_budget;
+                d_drops = drops; d_corrupt = corrupt; d_stragglers = stragglers;
+                d_spec = spec; d_backoff = backoff }
+          | Error _ ->
+              { got = None; payload_bits; d_retrans = retry_budget;
+                d_drops = drops; d_corrupt = corrupt + 1;
+                d_stragglers = stragglers; d_spec = spec; d_backoff = backoff })
+    in
+    let rec go attempt ~late drops corrupt stragglers spec backoff =
       if attempt > retry_budget then
-        { got = None; payload_bits; d_retrans = retry_budget; d_drops = drops;
-          d_corrupt = corrupt; d_backoff = backoff }
+        finish ~late attempt drops corrupt stragglers spec backoff
       else
         match Channel.transmit lossy ~retransmission:(attempt > 0) ~bits frame with
         | Channel.Dropped ->
-            go (attempt + 1) (drops + 1) corrupt (backoff + (1 lsl attempt))
-        | Channel.Received s -> (
-            match Serialize.ugraph_of_frame s with
-            | Ok g ->
-                { got = Some g; payload_bits; d_retrans = attempt; d_drops = drops;
-                  d_corrupt = corrupt; d_backoff = backoff }
-            | Error _ ->
-                go (attempt + 1) drops (corrupt + 1) (backoff + (1 lsl attempt)))
+            go (attempt + 1) ~late (drops + 1) corrupt stragglers spec
+              (backoff + (1 lsl attempt))
+        | Channel.Received s ->
+            if Fault.times_out fault then
+              (* Straggler: fire a speculative re-request (if budget remains)
+                 and remember the late copy. *)
+              let spec = if attempt + 1 <= retry_budget then spec + 1 else spec in
+              go (attempt + 1) ~late:(Some s) drops corrupt (stragglers + 1)
+                spec
+                (backoff + (1 lsl attempt))
+            else (
+              match Serialize.ugraph_of_frame s with
+              | Ok g ->
+                  { got = Some g; payload_bits; d_retrans = attempt;
+                    d_drops = drops; d_corrupt = corrupt;
+                    d_stragglers = stragglers; d_spec = spec;
+                    d_backoff = backoff }
+              | Error _ ->
+                  go (attempt + 1) ~late drops (corrupt + 1) stragglers spec
+                    (backoff + (1 lsl attempt)))
     in
-    go 0 0 0 0
+    go 0 ~late:None 0 0 0 0 0
   end
 
 let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
@@ -236,6 +274,10 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
       drops_seen = sum (fun d -> d.d_drops) coarse + sum (fun d -> d.d_drops) fine;
       corruptions_detected =
         sum (fun d -> d.d_corrupt) coarse + sum (fun d -> d.d_corrupt) fine;
+      stragglers =
+        sum (fun d -> d.d_stragglers) coarse + sum (fun d -> d.d_stragglers) fine;
+      speculative_retransmissions =
+        sum (fun d -> d.d_spec) coarse + sum (fun d -> d.d_spec) fine;
       coarse_lost;
       fine_lost;
       checksum_bits = Sketch.checksum_bits * 2 * Array.length shards;

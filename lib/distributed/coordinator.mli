@@ -17,7 +17,15 @@
     degrades gracefully — candidates come from the surviving coarse
     sketches, scores are rescaled by the advertised weight of surviving
     fine shards, and the error bound is widened accordingly. {!min_cut} is
-    exactly the zero-fault instance: same estimates, same metered bits. *)
+    exactly the zero-fault instance: same estimates, same metered bits.
+
+    Stragglers: the policy's timeout rate models a shard sketch arriving
+    past the coordinator's per-sketch deadline. Rather than wait, the
+    coordinator fires a {e speculative re-request} (sharing the same
+    retry budget and backoff schedule as drop/corruption recovery) and
+    keeps the late copy as a fallback — whichever intact copy it ends up
+    holding is used, so straggling costs speculative bits but never loses
+    a sketch, and the estimate is unchanged. *)
 
 type config = {
   eps : float;            (** target accuracy of the final estimate *)
@@ -58,6 +66,12 @@ type fault_report = {
   retransmissions : int;          (** frames re-sent after a drop/corruption *)
   drops_seen : int;               (** deliveries that never arrived *)
   corruptions_detected : int;     (** frames rejected by their checksum *)
+  stragglers : int;               (** deliveries that arrived past the
+                                      per-sketch deadline (the policy's
+                                      timeout rate models the overrun) *)
+  speculative_retransmissions : int;
+                                  (** duplicate requests fired while a
+                                      straggler was still in flight *)
   coarse_lost : int;              (** coarse sketches abandoned past budget *)
   fine_lost : int;                (** fine sketches abandoned past budget *)
   checksum_bits : int;            (** CRC overhead on first sends *)

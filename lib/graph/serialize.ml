@@ -47,33 +47,14 @@ let read_all ic =
 let input_ugraph ic = ugraph_of_string (read_all ic)
 let input_digraph ic = digraph_of_string (read_all ic)
 
-(* --- checksummed frames --- *)
+(* --- checksummed frames ---
 
-module Checksum = Dcs_util.Checksum
+   The frame format lives in Dcs_util.Checksum so that util-level code
+   (Checkpoint snapshots) shares the exact framing the lossy channels use;
+   these aliases keep the historical entry points. *)
 
-let frame payload =
-  Printf.sprintf "DCS1 %d %08x\n%s" (String.length payload)
-    (Checksum.crc32 payload) payload
-
-let unframe s =
-  match String.index_opt s '\n' with
-  | None -> Error "frame: missing header terminator"
-  | Some nl -> (
-      let header = String.sub s 0 nl in
-      let body = String.sub s (nl + 1) (String.length s - nl - 1) in
-      match String.split_on_char ' ' header with
-      | [ "DCS1"; len; crc ] -> (
-          match int_of_string_opt len with
-          | Some len ->
-              if String.length body <> len then Error "frame: length mismatch"
-                (* Compare against the canonical rendering, not the parsed
-                   value: hex parsing is case-insensitive, so a bit flip
-                   turning 'a' into 'A' would otherwise slip through. *)
-              else if Printf.sprintf "%08x" (Checksum.crc32 body) <> crc then
-                Error "frame: checksum mismatch"
-              else Ok body
-          | None -> Error "frame: unparsable header fields")
-      | _ -> Error "frame: bad magic")
+let frame = Dcs_util.Checksum.frame
+let unframe = Dcs_util.Checksum.unframe
 
 let parse_frame of_string s =
   match unframe s with

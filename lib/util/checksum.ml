@@ -14,3 +14,29 @@ let crc32 s =
   !crc lxor 0xFFFFFFFF
 
 let bits = 32
+
+(* --- checksummed frames --- *)
+
+let frame payload =
+  Printf.sprintf "DCS1 %d %08x\n%s" (String.length payload) (crc32 payload)
+    payload
+
+let unframe s =
+  match String.index_opt s '\n' with
+  | None -> Error "frame: missing header terminator"
+  | Some nl -> (
+      let header = String.sub s 0 nl in
+      let body = String.sub s (nl + 1) (String.length s - nl - 1) in
+      match String.split_on_char ' ' header with
+      | [ "DCS1"; len; crc ] -> (
+          match int_of_string_opt len with
+          | Some len ->
+              if String.length body <> len then Error "frame: length mismatch"
+                (* Compare against the canonical rendering, not the parsed
+                   value: hex parsing is case-insensitive, so a bit flip
+                   turning 'a' into 'A' would otherwise slip through. *)
+              else if Printf.sprintf "%08x" (crc32 body) <> crc then
+                Error "frame: checksum mismatch"
+              else Ok body
+          | None -> Error "frame: unparsable header fields")
+      | _ -> Error "frame: bad magic")

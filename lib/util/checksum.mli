@@ -12,3 +12,19 @@ val crc32 : string -> int
 
 val bits : int
 (** Canonical size of a checksum field: 32. *)
+
+(** {2 Checksummed frames}
+
+    The canonical framing used everywhere a byte string must survive an
+    unreliable medium — sketch deliveries over lossy channels
+    ({!Dcs_graph.Serialize} re-exports these under the same names) and
+    {!Checkpoint} snapshots on disk. The header carries the payload
+    length and CRC-32, so the receiver rejects truncation (length
+    mismatch) and every single-bit flip anywhere in the frame (header
+    included: a damaged header fails to parse or to match). *)
+
+val frame : string -> string
+(** [frame payload] is ["DCS1 <len> <crc32-hex>\n" ^ payload]. *)
+
+val unframe : string -> (string, string) result
+(** Payload if the frame is intact, otherwise a diagnostic ([Error]). *)

@@ -19,6 +19,27 @@ let chunk_bounds ~n ~chunks c =
   let hi = lo + base + if c < extra then 1 else 0 in
   (lo, hi)
 
+exception Task_failed of { index : int; exn : exn; backtrace : string }
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed { index; exn; _ } ->
+        Some
+          (Printf.sprintf "Pool.Task_failed (task %d: %s)" index
+             (Printexc.to_string exn))
+    | _ -> None)
+
+(* Tag a worker exception with the task it killed. The innermost pool wins
+   when pools nest (e.g. a supervised sweep whose trials fan out their own
+   contraction runs): an already-tagged exception passes through untouched,
+   so the reported index is the one closest to the failure. *)
+let wrap_task f i =
+  try f i with
+  | Task_failed _ as e -> raise e
+  | e ->
+      let backtrace = Printexc.get_backtrace () in
+      raise (Task_failed { index = i; exn = e; backtrace })
+
 let parallel_init ?domains ~n f =
   if n < 0 then invalid_arg "Pool.parallel_init: n must be nonnegative";
   let d =
@@ -26,7 +47,7 @@ let parallel_init ?domains ~n f =
     if d < 1 then invalid_arg "Pool.parallel_init: domains must be positive";
     min d (max 1 n)
   in
-  if d = 1 then Array.init n f
+  if d = 1 then Array.init n (wrap_task f)
   else begin
     (* Slot [i] is written by exactly one domain and read only after the
        joins, so the array needs no lock; [None] marks a task whose chunk
@@ -35,7 +56,7 @@ let parallel_init ?domains ~n f =
     let run_chunk c () =
       let lo, hi = chunk_bounds ~n ~chunks:d c in
       for i = lo to hi - 1 do
-        results.(i) <- Some (f i)
+        results.(i) <- Some (wrap_task f i)
       done
     in
     let spawned = Array.init (d - 1) (fun c -> Domain.spawn (run_chunk (c + 1))) in
@@ -59,3 +80,184 @@ let parallel_map ?domains f xs =
 let parallel_init_sum ?domains ~n f =
   let terms = parallel_init ?domains ~n f in
   Array.fold_left ( +. ) 0.0 terms
+
+(* --- supervised execution --- *)
+
+type ctx = {
+  index : int;
+  attempt : int;
+  rng : Prng.t;
+  attempt_rng : Prng.t;
+  deadline : float option;
+  started : float;
+}
+
+exception Cancelled of { index : int; attempt : int }
+
+let cancelled ctx =
+  match ctx.deadline with
+  | None -> false
+  | Some d -> Unix.gettimeofday () -. ctx.started > d
+
+let guard ctx =
+  if cancelled ctx then raise (Cancelled { index = ctx.index; attempt = ctx.attempt })
+
+type failure = {
+  failed_index : int;
+  failed_attempt : int;
+  stream_fingerprint : int64;
+  hung : bool;
+  error : string;
+  backtrace : string;
+}
+
+let describe_failure f =
+  Printf.sprintf "task %d attempt %d (stream %016Lx) %s" f.failed_index
+    f.failed_attempt f.stream_fingerprint
+    (if f.hung then "hung past its deadline" else "crashed: " ^ f.error)
+
+type report = {
+  tasks : int;
+  crashes : int;
+  hangs : int;
+  restarts : int;
+  rounds : int;
+  failures : failure list;
+}
+
+exception Poisoned of { index : int; attempts : int; last : failure }
+
+let () =
+  Printexc.register_printer (function
+    | Poisoned { index; attempts; last } ->
+        Some
+          (Printf.sprintf "Pool.Poisoned (task %d after %d attempts; last: %s)"
+             index attempts (describe_failure last))
+    | _ -> None)
+
+(* One attempt of one task, fully isolated: every exception is converted
+   into a [failure] value, so a worker domain running a batch of attempts
+   can never die and take unrelated tasks down with it. *)
+let run_attempt ~deadline ~master ~attempt task i =
+  let task_master = Prng.split master i in
+  let attempt_rng = Prng.split task_master (attempt + 1) in
+  let fp = Prng.fingerprint attempt_rng in
+  let ctx =
+    {
+      index = i;
+      attempt;
+      rng = Prng.split task_master 0;
+      attempt_rng;
+      deadline;
+      started = Unix.gettimeofday ();
+    }
+  in
+  match task ctx with
+  | v -> Ok v
+  | exception Cancelled _ ->
+      Error
+        {
+          failed_index = i;
+          failed_attempt = attempt;
+          stream_fingerprint = fp;
+          hung = true;
+          error = "deadline exceeded";
+          backtrace = "";
+        }
+  | exception e ->
+      Error
+        {
+          failed_index = i;
+          failed_attempt = attempt;
+          stream_fingerprint = fp;
+          hung = false;
+          error = Printexc.to_string e;
+          backtrace = Printexc.get_backtrace ();
+        }
+
+let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices task =
+  if restart_budget < 0 then
+    invalid_arg "Pool.run_supervised: restart_budget must be nonnegative";
+  Array.iter
+    (fun i ->
+      if i < 0 then invalid_arg "Pool.run_supervised: indices must be nonnegative")
+    indices;
+  let d_requested = match domains with Some d -> d | None -> domain_count () in
+  if d_requested < 1 then
+    invalid_arg "Pool.run_supervised: domains must be positive";
+  let k = Array.length indices in
+  let results = Array.make k None in
+  let failures = ref [] (* reverse chronological *) in
+  let crashes = ref 0 and hangs = ref 0 and restarts = ref 0 and rounds = ref 0 in
+  (* Round [attempt] re-executes every still-failing task on fresh domains:
+     a crash cannot corrupt its replacement's domain-local state, and the
+     attempt streams are pure functions of (master, index, attempt), so the
+     rounds — and the final results — are independent of scheduling.
+     [pending] holds caller slots (positions into [indices]). *)
+  let rec round attempt pending =
+    if Array.length pending > 0 then begin
+      if attempt > restart_budget then begin
+        let i = indices.(pending.(0)) in
+        let last = List.find (fun f -> f.failed_index = i) !failures in
+        raise (Poisoned { index = i; attempts = attempt; last })
+      end;
+      incr rounds;
+      if attempt > 0 then restarts := !restarts + Array.length pending;
+      let np = Array.length pending in
+      let outcomes = Array.make np None in
+      let run_slot pos =
+        outcomes.(pos) <-
+          Some
+            (run_attempt ~deadline ~master:rng ~attempt task
+               indices.(pending.(pos)))
+      in
+      let d = min d_requested np in
+      if d = 1 then
+        for pos = 0 to np - 1 do
+          run_slot pos
+        done
+      else begin
+        let run_chunk c () =
+          let lo, hi = chunk_bounds ~n:np ~chunks:d c in
+          for pos = lo to hi - 1 do
+            run_slot pos
+          done
+        in
+        let spawned =
+          Array.init (d - 1) (fun c -> Domain.spawn (run_chunk (c + 1)))
+        in
+        run_chunk 0 ();
+        (* run_slot swallows every exception, so the joins are plain. *)
+        Array.iter Domain.join spawned
+      end;
+      let still = ref [] in
+      for pos = 0 to np - 1 do
+        match outcomes.(pos) with
+        | Some (Ok v) -> results.(pending.(pos)) <- Some v
+        | Some (Error f) ->
+            failures := f :: !failures;
+            if f.hung then incr hangs else incr crashes;
+            still := pending.(pos) :: !still
+        | None -> assert false
+      done;
+      round (attempt + 1) (Array.of_list (List.rev !still))
+    end
+  in
+  round 0 (Array.init k Fun.id);
+  let values =
+    Array.map (function Some v -> v | None -> assert false) results
+  in
+  ( values,
+    {
+      tasks = k;
+      crashes = !crashes;
+      hangs = !hangs;
+      restarts = !restarts;
+      rounds = !rounds;
+      failures = List.rev !failures;
+    } )
+
+let run_supervised ?domains ?restart_budget ?deadline ~rng ~n task =
+  if n < 0 then invalid_arg "Pool.run_supervised: n must be nonnegative";
+  run_supervised_on ?domains ?restart_budget ?deadline ~rng
+    ~indices:(Array.init n Fun.id) task

@@ -14,7 +14,13 @@
 
     The domain count defaults to the [DCS_DOMAINS] environment variable
     when set ([Domain.recommended_domain_count ()] otherwise); a count of 1
-    runs the plain sequential loop in the calling domain with no spawns. *)
+    runs the plain sequential loop in the calling domain with no spawns.
+
+    {!run_supervised} adds a supervision layer for long sweeps: per-task
+    crash isolation (a worker exception fails one task, not the batch),
+    cooperative per-task deadlines, and deterministic re-execution of
+    failed tasks on fresh domains from their own [Prng.split] streams,
+    bounded by a restart budget before a task is declared {!Poisoned}. *)
 
 val env_var : string
 (** ["DCS_DOMAINS"]. *)
@@ -25,14 +31,22 @@ val domain_count : unit -> int
     [Invalid_argument]), otherwise — including when set to the empty
     string — [Domain.recommended_domain_count ()]. *)
 
+exception Task_failed of { index : int; exn : exn; backtrace : string }
+(** How a worker exception reaches the caller of the {e unsupervised}
+    entry points: tagged with the index of the task that died and the
+    backtrace captured at the failure site (non-empty when
+    [Printexc.record_backtrace] is on), instead of a bare re-raise that
+    loses which trial was running. Nested pools preserve the innermost
+    tag, so the index always names the task closest to the failure. *)
+
 val parallel_init : ?domains:int -> n:int -> (int -> 'a) -> 'a array
 (** [parallel_init ~n f] is [Array.init n f] computed on [domains] domains
     (default {!domain_count}), with indices 0..n-1 fanned out in [domains]
     contiguous chunks over [Domain.spawn]. [f] must be safe to run
     concurrently for distinct indices (no shared mutable state). If any
-    task raises, the first exception (lowest chunk) is re-raised in the
-    caller after all domains have been joined — no result is silently
-    dropped and no domain is left running. *)
+    task raises, the first failure (lowest failing index) is re-raised in
+    the caller as {!Task_failed} after all domains have been joined — no
+    result is silently dropped and no domain is left running. *)
 
 val parallel_map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f xs] is [Array.map f xs] with the same fan-out,
@@ -42,3 +56,110 @@ val parallel_init_sum : ?domains:int -> n:int -> (int -> float) -> float
 (** [parallel_init_sum ~n f] is the sum of [f i] for [i] in 0..n-1: the
     [f i] are evaluated in parallel, then accumulated left-to-right in
     index order, so the result is bit-identical for every domain count. *)
+
+(** {2 Supervised execution}
+
+    [run_supervised ~rng ~n task] runs [n] tasks like {!parallel_init},
+    but each task attempt is individually isolated: an exception (or a
+    cooperative deadline overrun) fails {e that task's attempt} only, and
+    the task is re-executed in a later round on a freshly spawned domain,
+    up to [restart_budget] re-executions, after which it is {!Poisoned}.
+
+    Determinism: task [i]'s {!ctx.rng} is [Prng.split (Prng.split rng i) 0]
+    — the {e same} stream on every attempt, so a successful re-execution
+    returns exactly the value the first execution would have, and results
+    are bit-identical at every domain count, restart pattern, and resume
+    point. {!ctx.attempt_rng} is [Prng.split (Prng.split rng i) (attempt+1)]
+    — a {e fresh} stream per attempt, for anything that should vary across
+    restarts (the chaos harness draws its injected faults from it, so a
+    crashy attempt can be followed by a clean one). [rng] is never
+    advanced; pass a frozen master (e.g. from [Prng.fork]).
+
+    Deadlines are {e cooperative}: a task observes its deadline through
+    {!guard}/{!cancelled} and is treated as hung when it raises
+    {!Cancelled}. OCaml domains cannot be preempted, so a task that never
+    polls and never returns cannot be recovered; a completed attempt's
+    value is always accepted, late or not (anything else would let wall
+    clock into the results). *)
+
+type ctx = {
+  index : int;            (** task index, as seen by the caller *)
+  attempt : int;          (** 0 on first execution, +1 per restart *)
+  rng : Prng.t;           (** task stream — identical on every attempt *)
+  attempt_rng : Prng.t;   (** per-attempt stream — fresh on every attempt *)
+  deadline : float option;(** seconds allotted to this attempt *)
+  started : float;        (** [Unix.gettimeofday] at attempt start *)
+}
+
+exception Cancelled of { index : int; attempt : int }
+(** Raised by {!guard} when the attempt has outlived its deadline; the
+    supervisor records the attempt as hung and schedules a re-execution. *)
+
+val cancelled : ctx -> bool
+(** Whether this attempt is past its deadline ([false] when none is set). *)
+
+val guard : ctx -> unit
+(** Cancellation point: raises {!Cancelled} iff [cancelled ctx]. Long
+    tasks should call it inside their hot loops. *)
+
+type failure = {
+  failed_index : int;
+  failed_attempt : int;
+  stream_fingerprint : int64;
+      (** {!Prng.fingerprint} of the attempt stream at attempt start — the
+          exact randomness the failing attempt was running on, for replay *)
+  hung : bool;            (** deadline overrun, as opposed to a crash *)
+  error : string;         (** [Printexc.to_string] of the crash, or
+                              ["deadline exceeded"] *)
+  backtrace : string;     (** captured at the failure site; [""] unless
+                              [Printexc.record_backtrace] is on *)
+}
+
+val describe_failure : failure -> string
+(** One-line human rendering: task, attempt, stream fingerprint, cause. *)
+
+type report = {
+  tasks : int;            (** tasks submitted *)
+  crashes : int;          (** attempts that raised *)
+  hangs : int;            (** attempts cancelled past their deadline *)
+  restarts : int;         (** re-executions scheduled (= crashes + hangs
+                              unless a task was poisoned) *)
+  rounds : int;           (** execution rounds (1 = no failures) *)
+  failures : failure list;(** chronological: by round, then task order *)
+}
+
+exception Poisoned of { index : int; attempts : int; last : failure }
+(** A task failed on its initial execution {e and} on every one of its
+    [restart_budget] re-executions. Raised in the caller after the final
+    round (all other tasks have completed by then). *)
+
+val run_supervised :
+  ?domains:int ->
+  ?restart_budget:int ->
+  ?deadline:float ->
+  rng:Prng.t ->
+  n:int ->
+  (ctx -> 'a) ->
+  'a array * report
+(** Runs tasks 0..n-1 under supervision. [restart_budget] (default 2) is
+    the number of re-executions allowed per task beyond the first; a task
+    still failing past it raises {!Poisoned}. [deadline] (seconds, default
+    none) bounds each attempt cooperatively. With a crash-free, hang-free
+    task function the result array equals the one a plain
+    {!parallel_init} of [fun i -> task (ctx of i)] would produce, in one
+    round, with an empty failure list. *)
+
+val run_supervised_on :
+  ?domains:int ->
+  ?restart_budget:int ->
+  ?deadline:float ->
+  rng:Prng.t ->
+  indices:int array ->
+  (ctx -> 'a) ->
+  'a array * report
+(** Like {!run_supervised} but over an explicit (distinct, nonnegative)
+    index set: slot [p] of the result corresponds to [indices.(p)], and
+    task streams are split by the {e real} index — so running a subset
+    (e.g. the trials a checkpoint is missing) yields bit-for-bit the
+    values a full run would have produced at those indices. This is the
+    primitive {!Checkpoint.sweep} resumes on. *)

@@ -55,6 +55,12 @@ let split t i =
   let g = mix_gamma (mix64 z) in
   { state = s; gamma = g }
 
+(* Diagnostic identity of the stream's current position: a pure hash of
+   (state, gamma) that does not advance the stream. Two generators report
+   the same fingerprint iff they would produce the same future outputs, so
+   a supervisor can name the exact stream a crashed task was running on. *)
+let fingerprint t = mix64 (Int64.logxor (mix64 t.state) t.gamma)
+
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
 let sign t = if bool t then 1 else -1

@@ -28,6 +28,13 @@ val split : t -> int -> t
     ({!Pool}) bit-identical for every [DCS_DOMAINS] setting: freeze a parent
     with {!fork}, then give task [i] the stream [split parent i]. *)
 
+val fingerprint : t -> int64
+(** A pure hash of the generator's current position that does {e not}
+    advance the stream: equal fingerprints mean equal future outputs.
+    Used by the supervision layer ({!Pool.run_supervised}) to name the
+    exact stream a crashed or hung task was running on, so a failure can
+    be replayed in isolation. *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 

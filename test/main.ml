@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("pool", Test_pool.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("linalg", Test_linalg.suite);
       ("graph", Test_graph.suite);
       ("mincut", Test_mincut.suite);

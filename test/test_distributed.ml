@@ -196,6 +196,66 @@ let test_robust_degrades_past_budget () =
   Alcotest.(check bool) "still produced an estimate" true
     (r.Coordinator.base.Coordinator.estimate > 0.0)
 
+let test_robust_stragglers_never_lose_data () =
+  (* Timeout-only faults: every straggling sketch triggers a speculative
+     re-request but its late copy is kept as a fallback, so nothing is
+     lost, nothing degrades, and the estimate is bit-identical to a clean
+     run with the same pipeline stream. *)
+  let g = planted 40 in
+  let shards = Partition.random (Prng.create 41) ~servers:3 g in
+  let cfg = Coordinator.default_config ~eps:0.3 in
+  let run fault = Coordinator.min_cut_robust (Prng.create 42) cfg ~fault shards in
+  let clean = run (Fault.create Fault.no_faults (Prng.create 43)) in
+  let r = run (Fault.create (Fault.policy ~timeout:0.5 ()) (Prng.create 43)) in
+  let rep = r.Coordinator.report in
+  Alcotest.(check bool) "stragglers observed" true (rep.Coordinator.stragglers > 0);
+  Alcotest.(check bool) "speculative re-requests fired" true
+    (rep.Coordinator.speculative_retransmissions > 0);
+  Alcotest.(check bool) "speculation pays retransmit bits" true
+    (rep.Coordinator.retransmit_bits > 0);
+  Alcotest.(check int) "nothing lost" 0
+    (rep.Coordinator.coarse_lost + rep.Coordinator.fine_lost);
+  Alcotest.(check bool) "not degraded" false rep.Coordinator.degraded;
+  Alcotest.(check bool) "base result bit-identical to clean run" true
+    (r.Coordinator.base = clean.Coordinator.base)
+
+let test_robust_all_stragglers_fall_back_to_late_copy () =
+  (* timeout = 1: every delivery of every attempt overruns the deadline,
+     so the retry budget runs dry and the coordinator falls back to the
+     late copies — the pipeline still completes, undegraded. *)
+  let g = planted 44 in
+  let shards = Partition.random (Prng.create 45) ~servers:3 g in
+  let cfg = Coordinator.default_config ~eps:0.3 in
+  let run fault = Coordinator.min_cut_robust (Prng.create 46) cfg ~fault shards in
+  let clean = run (Fault.create Fault.no_faults (Prng.create 47)) in
+  let r = run (Fault.create (Fault.policy ~timeout:1.0 ()) (Prng.create 47)) in
+  let rep = r.Coordinator.report in
+  (* 3 coarse + 3 fine sketches, each straggling on all (budget+1 = 5)
+     attempts; the speculative re-requests stop at the budget. *)
+  Alcotest.(check int) "every attempt straggled" 30 rep.Coordinator.stragglers;
+  Alcotest.(check int) "speculation bounded by budget" 24
+    rep.Coordinator.speculative_retransmissions;
+  Alcotest.(check int) "late copies save every sketch" 0
+    (rep.Coordinator.coarse_lost + rep.Coordinator.fine_lost);
+  Alcotest.(check bool) "not degraded" false rep.Coordinator.degraded;
+  Alcotest.(check bool) "estimate unchanged" true
+    (r.Coordinator.base = clean.Coordinator.base)
+
+let test_robust_drop_only_reports_no_stragglers () =
+  (* Drop faults must not leak into the straggler counters: the two
+     recovery paths are metered separately. *)
+  let g = planted 48 in
+  let shards = Partition.random (Prng.create 49) ~servers:3 g in
+  let cfg = Coordinator.default_config ~eps:0.3 in
+  let fault = Fault.create (Fault.policy ~drop:0.3 ()) (Prng.create 50) in
+  let r = Coordinator.min_cut_robust (Prng.create 51) cfg ~fault shards in
+  let rep = r.Coordinator.report in
+  Alcotest.(check bool) "drops actually recovered" true
+    (rep.Coordinator.retransmissions > 0);
+  Alcotest.(check int) "no stragglers counted" 0 rep.Coordinator.stragglers;
+  Alcotest.(check int) "no speculative re-requests" 0
+    rep.Coordinator.speculative_retransmissions
+
 (* qcheck: the refined estimate never undercuts the true minimum cut by
    more than the sketch error (the candidate is a real cut, whose true
    value is >= mincut; the for-each estimate is within ~eps of it). *)
@@ -227,5 +287,8 @@ let suite =
     Alcotest.test_case "robust: disabled = min_cut" `Quick test_robust_disabled_matches_min_cut;
     Alcotest.test_case "robust: recovers under drops" `Quick test_robust_recovers_under_drops;
     Alcotest.test_case "robust: degrades past budget" `Quick test_robust_degrades_past_budget;
+    Alcotest.test_case "robust: stragglers never lose data" `Quick test_robust_stragglers_never_lose_data;
+    Alcotest.test_case "robust: all-straggler late-copy fallback" `Quick test_robust_all_stragglers_fall_back_to_late_copy;
+    Alcotest.test_case "robust: drop-only leaves straggler meters zero" `Quick test_robust_drop_only_reports_no_stragglers;
     QCheck_alcotest.to_alcotest prop_estimate_lower_bounded;
   ]

@@ -367,6 +367,50 @@ let test_faulty_oracle_majority_vote_domain_independent () =
   Alcotest.(check bool) "votes were cast" true
     (Array.exists (fun (_, _, _, v) -> v > 0) seq)
 
+let test_verify_guess_exhausted_end_to_end () =
+  (* A fully dead oracle under VERIFY-GUESS: Exhausted must surface to the
+     caller (no silent acceptance/rejection), and the timed-out attempts
+     were still issued, so the query meter is charged. *)
+  let rng = Prng.create 26 in
+  let g = planted 27 in
+  let o = Oracle.create g in
+  let degrees = Array.init (Ugraph.n g) (fun u -> Ugraph.degree g u) in
+  let fault = Fault.create (Fault.policy ~timeout:1.0 ()) rng in
+  let fo = Faulty_oracle.create ~retry_budget:3 fault o in
+  (match Verify_guess.run ~faulty:fo rng o ~degrees ~t:4.0 ~eps:0.5 with
+  | _ -> Alcotest.fail "verify-guess survived a fully dead oracle"
+  | exception Faulty_oracle.Exhausted _ -> ());
+  Alcotest.(check bool) "dead attempts still metered" true
+    (Oracle.total_queries o > 0);
+  Alcotest.(check bool) "retries recorded" true
+    ((Faulty_oracle.stats fo).Faulty_oracle.retries > 0)
+
+let test_verify_guess_timeout_recovery_bit_identical () =
+  (* Timeouts below the exhaustion threshold: retries eventually deliver
+     the true answer, so the decision and estimate are bit-identical to
+     the fault-free run — only the oracle meters pay for the recovery. *)
+  let g = planted 28 in
+  let degrees_of o = Array.init (Oracle.n o) (fun u -> Oracle.degree o u) in
+  let clean =
+    let o = Oracle.create g in
+    let out = Verify_guess.run (Prng.create 29) o ~degrees:(degrees_of o) ~t:4.0 ~eps:0.5 in
+    (out.Verify_guess.accepted, out.Verify_guess.estimate, out.Verify_guess.edge_queries)
+  in
+  let o = Oracle.create g in
+  let fault = Fault.create (Fault.policy ~timeout:0.3 ()) (Prng.create 30) in
+  let fo = Faulty_oracle.create ~retry_budget:16 fault o in
+  let degrees = degrees_of o in
+  let physical_before = Oracle.total_queries o in
+  let out = Verify_guess.run ~faulty:fo (Prng.create 29) o ~degrees ~t:4.0 ~eps:0.5 in
+  Alcotest.(check bool) "outcome bit-identical under recovered timeouts" true
+    (clean
+    = (out.Verify_guess.accepted, out.Verify_guess.estimate, out.Verify_guess.edge_queries));
+  let retries = (Faulty_oracle.stats fo).Faulty_oracle.retries in
+  Alcotest.(check bool) "recovery forced retries" true (retries > 0);
+  Alcotest.(check int) "every retry hit the meter"
+    (out.Verify_guess.edge_queries + retries)
+    (Oracle.total_queries o - physical_before)
+
 let prop_lemma55 =
   QCheck.Test.make ~name:"Lemma 5.5: MINCUT = 2·INT" ~count:10
     QCheck.(int_bound 100000)
@@ -415,5 +459,7 @@ let suite =
     Alcotest.test_case "faulty-oracle: timeout exhausts" `Quick test_faulty_oracle_timeout_exhausts;
     Alcotest.test_case "faulty-oracle: wrapper mismatch" `Quick test_faulty_oracle_wrapper_mismatch_rejected;
     Alcotest.test_case "faulty-oracle: vote domain-independent" `Quick test_faulty_oracle_majority_vote_domain_independent;
+    Alcotest.test_case "verify-guess: exhaustion reaches caller" `Quick test_verify_guess_exhausted_end_to_end;
+    Alcotest.test_case "verify-guess: timeout recovery bit-identical" `Quick test_verify_guess_timeout_recovery_bit_identical;
     QCheck_alcotest.to_alcotest prop_lemma55;
   ]
