@@ -18,7 +18,14 @@
                           kill-then-resume cycle)
 
    Checkpoint chatter goes to stderr; stdout is byte-identical between a
-   resumed run and an uninterrupted one. *)
+   resumed run and an uninterrupted one.
+
+   Machine-readable output:
+     --json PATH          capture every printed table and write the run as
+                          JSON (tables grouped per experiment, plus the
+                          Obs.Metrics registry snapshot)
+     DCS_METRICS, DCS_TRACE (environment) are honored as documented in the
+     README's Observability section. *)
 
 let experiments =
   [
@@ -39,7 +46,36 @@ let experiments =
     ("E15", "Imbalance decomposition sketch", false, Exp_imbalance.run);
     ("E16", "Fault injection: robustness overhead", false, Exp_fault.run);
     ("E17", "Chaos harness: supervision + checkpoint recovery", false, Exp_chaos.run);
+    ("E18", "Profiling: instrumented 1.1/1.3 pipelines", false, Exp_profile.run);
   ]
+
+let json_path : string option ref = ref None
+
+(* (experiment id, first captured-table index, one past the last) — filled
+   as experiments run so the JSON dump can group tables per experiment. *)
+let json_groups : (string * int * int) list ref = ref []
+
+let write_json path =
+  let tables = Array.of_list (Dcs.Table.captured ()) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"experiments\":[";
+  List.iteri
+    (fun i (id, start, stop) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"id\":\"%s\",\"tables\":[" id);
+      for j = start to stop - 1 do
+        if j > start then Buffer.add_char buf ',';
+        Buffer.add_string buf (Dcs.Table.to_json tables.(j))
+      done;
+      Buffer.add_string buf "]}")
+    (List.rev !json_groups);
+  Buffer.add_string buf "],\"metrics\":";
+  Buffer.add_string buf (Dcs.Obs.Report.snapshot_json ());
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
 
 let () =
   Printexc.record_backtrace true;
@@ -59,6 +95,10 @@ let () =
         parse only skip_slow rest
     | "--resume" :: rest ->
         Common.resume_requested := true;
+        parse only skip_slow rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        Dcs.Table.set_capture true;
         parse only skip_slow rest
     | "--abort-after" :: n :: rest -> (
         match int_of_string_opt n with
@@ -99,7 +139,12 @@ let () =
          in
          if selected then begin
            let t0 = Sys.time () in
+           let captured_before = Dcs.Table.captured_count () in
            run ();
+           if !json_path <> None then
+             json_groups :=
+               (id, captured_before, Dcs.Table.captured_count ())
+               :: !json_groups;
            Printf.printf "  [%s done in %.1fs]\n" id (Sys.time () -. t0)
          end)
        experiments
@@ -109,4 +154,6 @@ let () =
         snapshot %s — rerun with --resume to continue]\n"
        completed_now path;
      exit 3);
-  Printf.printf "\nall selected experiments done in %.1fs\n" (Sys.time () -. started)
+  Printf.printf "\nall selected experiments done in %.1fs\n" (Sys.time () -. started);
+  Option.iter write_json !json_path;
+  Dcs.Obs.Report.dump_env ()

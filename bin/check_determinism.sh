@@ -16,6 +16,14 @@
 # sweep) at DCS_DOMAINS=1, 2 and 4: the run is interrupted by --abort-after
 # (exit 3, snapshots on disk), restarted with --resume, and the combined
 # stdout must be byte-identical to an uninterrupted run's.
+#
+# Finally it runs E18 (the instrumented profiling pass) with DCS_METRICS
+# pointing at a snapshot file, at DCS_DOMAINS=1, 2 and 4, and diffs the
+# metrics JSON: the Obs.Metrics registry carries counts only (no wall
+# clock), so the sharded counters must merge to byte-identical snapshots at
+# every domain count. E18's stdout contains a wall-clock hot-path table and
+# trace files are timing by definition, so neither joins the diff — only
+# the metrics snapshot does.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -74,9 +82,23 @@ for d in 1 2 4; do
 done
 echo "kill-then-resume cycle byte-identical at DCS_DOMAINS=1, 2 and 4"
 
+echo "== metrics snapshots (E18, DCS_METRICS) =="
+for d in 1 2 4; do
+    DCS_DOMAINS="$d" DCS_METRICS="$tmpdir/metrics_d$d.json" \
+        dune exec --no-build bench/main.exe -- --only E18 \
+        > /dev/null 2> /dev/null
+done
+for d in 2 4; do
+    if ! diff -u "$tmpdir/metrics_d1.json" "$tmpdir/metrics_d$d.json"; then
+        echo "FAIL: E18 metrics snapshot diverges between DCS_DOMAINS=1 and $d" >&2
+        exit 1
+    fi
+done
+echo "E18 metrics snapshots byte-identical at DCS_DOMAINS=1, 2 and 4"
+
 echo "== test suite with DCS_DOMAINS=1 =="
 DCS_DOMAINS=1 dune exec --no-build test/main.exe
 echo "== test suite with DCS_DOMAINS=4 =="
 DCS_DOMAINS=4 dune exec --no-build test/main.exe
 
-echo "OK: suite green, tables identical, kill/resume identical under DCS_DOMAINS=1 and 4"
+echo "OK: suite green, tables identical, kill/resume identical, metrics snapshots identical under DCS_DOMAINS=1 and 4"

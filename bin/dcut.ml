@@ -48,6 +48,22 @@ let read_ugraph ic = Dcs_graph.Serialize.input_ugraph ic
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the observability registry (counters, gauges, histograms) to \
+           stderr after the run. The DCS_METRICS environment variable is \
+           honored either way.")
+
+(* Every subcommand funnels its exit code through here so [--metrics] and
+   the DCS_METRICS env var behave identically across the whole CLI. *)
+let finish metrics code =
+  if metrics then prerr_string (Obs.Report.render ());
+  Obs.Report.dump_env ();
+  code
+
 let input_arg =
   Arg.(
     value & opt string "-"
@@ -72,7 +88,7 @@ let gen_cmd =
   let p_arg = Arg.(value & opt float 0.2 & info [ "p" ] ~doc:"Edge probability.") in
   let beta_arg = Arg.(value & opt float 2.0 & info [ "beta" ] ~doc:"Balance β.") in
   let k_arg = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Planted min-cut size.") in
-  let run seed family n p beta k out =
+  let run metrics seed family n p beta k out =
     let rng = Prng.create seed in
     with_output out (fun oc ->
         match family with
@@ -87,11 +103,12 @@ let gen_cmd =
             let x = Bitstring.random rng (l * l)
             and y = Bitstring.random rng (l * l) in
             output_ugraph oc (Gxy.build ~x ~y));
-    0
+    finish metrics 0
   in
   let term =
     Term.(
-      const run $ seed_arg $ family $ n_arg $ p_arg $ beta_arg $ k_arg $ output_arg)
+      const run $ metrics_arg $ seed_arg $ family $ n_arg $ p_arg $ beta_arg
+      $ k_arg $ output_arg)
   in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a random graph as an edge list.") term
 
@@ -105,7 +122,7 @@ let mincut_cmd =
       & info [ "algo" ] ~doc:"Algorithm: stoer-wagner | karger | both.")
   in
   let trials = Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Karger trials.") in
-  let run seed algo trials input =
+  let run metrics seed algo trials input =
     let g = with_input input read_ugraph in
     let rng = Prng.create seed in
     (match algo with
@@ -119,16 +136,16 @@ let mincut_cmd =
         Printf.printf "karger(%d):   %.6g  (side %d vertices)\n" trials v
           (Cut.cardinal c)
     | `Sw -> ());
-    0
+    finish metrics 0
   in
-  let term = Term.(const run $ seed_arg $ algo $ trials $ input_arg) in
+  let term = Term.(const run $ metrics_arg $ seed_arg $ algo $ trials $ input_arg) in
   Cmd.v (Cmd.info "mincut" ~doc:"Global minimum cut of an undirected graph.") term
 
 (* --- balance --- *)
 
 let balance_cmd =
   let trials = Arg.(value & opt int 500 & info [ "trials" ] ~doc:"Sampled cuts.") in
-  let run seed trials input =
+  let run metrics seed trials input =
     let g = with_input input read_digraph in
     let rng = Prng.create seed in
     Printf.printf "n=%d m=%d strongly-connected=%b\n" (Digraph.n g) (Digraph.m g)
@@ -138,9 +155,9 @@ let balance_cmd =
       (Balance.sampled_lower_bound rng ~trials g);
     if Digraph.n g <= 20 then
       Printf.printf "exact balance:        %.6g\n" (Balance.exact g);
-    0
+    finish metrics 0
   in
-  let term = Term.(const run $ seed_arg $ trials $ input_arg) in
+  let term = Term.(const run $ metrics_arg $ seed_arg $ trials $ input_arg) in
   Cmd.v (Cmd.info "balance" ~doc:"β-balance diagnostics of a digraph.") term
 
 (* --- sparsify --- *)
@@ -158,7 +175,7 @@ let sparsify_cmd =
       & opt (enum [ ("forall", `Forall); ("foreach", `Foreach) ]) `Forall
       & info [ "mode" ] ~doc:"Guarantee: forall | foreach.")
   in
-  let run seed eps beta mode input output =
+  let run metrics seed eps beta mode input output =
     let rng = Prng.create seed in
     (match beta with
     | None ->
@@ -179,10 +196,12 @@ let sparsify_cmd =
         in
         Printf.eprintf "kept %d of %d edges\n" (Digraph.m h) (Digraph.m g);
         with_output output (fun oc -> output_digraph oc h));
-    0
+    finish metrics 0
   in
   let term =
-    Term.(const run $ seed_arg $ eps $ beta $ mode $ input_arg $ output_arg)
+    Term.(
+      const run $ metrics_arg $ seed_arg $ eps $ beta $ mode $ input_arg
+      $ output_arg)
   in
   Cmd.v (Cmd.info "sparsify" ~doc:"Cut sparsification (undirected or directed).") term
 
@@ -214,7 +233,7 @@ let n_for_message ~beta ~inv_eps bits =
   go 2
 
 let encode_cmd =
-  let run seed message beta inv_eps output =
+  let run metrics seed message beta inv_eps output =
     let payload = bits_of_string message in
     let p = n_for_message ~beta ~inv_eps (Array.length payload) in
     let rng = Prng.create seed in
@@ -228,10 +247,12 @@ let encode_cmd =
       (Digraph.m inst.Foreach_lb.graph)
       (Balance.edgewise_upper_bound inst.Foreach_lb.graph);
     with_output output (fun oc -> output_digraph oc inst.Foreach_lb.graph);
-    0
+    finish metrics 0
   in
   let term =
-    Term.(const run $ seed_arg $ msg_arg $ beta_int_arg $ inv_eps_arg $ output_arg)
+    Term.(
+      const run $ metrics_arg $ seed_arg $ msg_arg $ beta_int_arg $ inv_eps_arg
+      $ output_arg)
   in
   Cmd.v
     (Cmd.info "encode"
@@ -249,7 +270,7 @@ let decode_cmd =
       value & opt float 0.0
       & info [ "noise" ] ~doc:"Answer cut queries with (1±NOISE) error.")
   in
-  let run seed len beta inv_eps noise input =
+  let run metrics seed len beta inv_eps noise input =
     let g = with_input input read_digraph in
     let p =
       let block = int_of_float (sqrt (float_of_int beta)) * inv_eps in
@@ -265,12 +286,12 @@ let decode_cmd =
           (Foreach_lb.decode_bit p ~query:sk.Sketch.query q).Foreach_lb.decoded)
     in
     print_endline (String.escaped (string_of_bits bits len));
-    0
+    finish metrics 0
   in
   let term =
     Term.(
-      const run $ seed_arg $ len_arg $ beta_int_arg $ inv_eps_arg $ noise_arg
-      $ input_arg)
+      const run $ metrics_arg $ seed_arg $ len_arg $ beta_int_arg $ inv_eps_arg
+      $ noise_arg $ input_arg)
   in
   Cmd.v
     (Cmd.info "decode" ~doc:"Recover a message from cut queries (Theorem 1.1).")
@@ -279,7 +300,7 @@ let decode_cmd =
 (* --- allpairs (Gomory–Hu) --- *)
 
 let allpairs_cmd =
-  let run input =
+  let run metrics input =
     let g = with_input input read_ugraph in
     let t = Gomory_hu.build g in
     Printf.printf "gomory-hu tree (child -- parent : min-cut value):\n";
@@ -288,9 +309,9 @@ let allpairs_cmd =
       (List.sort compare (Gomory_hu.tree_edges t));
     let v, side = Gomory_hu.global_min_cut t in
     Printf.printf "global min cut: %.6g (side %d vertices)\n" v (Cut.cardinal side);
-    0
+    finish metrics 0
   in
-  let term = Term.(const run $ input_arg) in
+  let term = Term.(const run $ metrics_arg $ input_arg) in
   Cmd.v
     (Cmd.info "allpairs" ~doc:"All-pairs minimum cuts via a Gomory–Hu tree.")
     term
@@ -303,7 +324,7 @@ let resistance_cmd =
       value & opt (some (pair int int)) None
       & info [ "pair" ] ~docv:"U,V" ~doc:"Report R(u,v) for one pair only.")
   in
-  let run input pair =
+  let run metrics input pair =
     let g = with_input input read_ugraph in
     (match pair with
     | Some (u, v) -> Printf.printf "R(%d,%d) = %.6g\n" u v (Resistance.pair g u v)
@@ -314,9 +335,9 @@ let resistance_cmd =
               (Hashtbl.find rs (min u v, max u v)));
         Printf.printf "foster sum (= n-1 when connected): %.6g\n"
           (Resistance.foster_sum g));
-    0
+    finish metrics 0
   in
-  let term = Term.(const run $ input_arg $ pair) in
+  let term = Term.(const run $ metrics_arg $ input_arg $ pair) in
   Cmd.v
     (Cmd.info "resistance" ~doc:"Effective resistances (spectral importance).")
     term
@@ -332,7 +353,7 @@ let localquery_cmd =
           Estimator.Modified
       & info [ "mode" ] ~doc:"Schedule: modified (Thm 5.7) | original.")
   in
-  let run seed eps mode input =
+  let run metrics seed eps mode input =
     let g = with_input input read_ugraph in
     let rng = Prng.create seed in
     let o = Oracle.create ~memoize:true g in
@@ -342,9 +363,9 @@ let localquery_cmd =
       r.Estimator.total_queries r.Estimator.degree_queries r.Estimator.edge_queries
       ((2 * Ugraph.m g) + Ugraph.n g);
     Printf.printf "comm bits (Lemma 5.6): %d\n" r.Estimator.comm_bits;
-    0
+    finish metrics 0
   in
-  let term = Term.(const run $ seed_arg $ eps $ mode $ input_arg) in
+  let term = Term.(const run $ metrics_arg $ seed_arg $ eps $ mode $ input_arg) in
   Cmd.v
     (Cmd.info "localquery" ~doc:"Min-cut estimation via metered local queries.")
     term
@@ -358,7 +379,7 @@ let connectivity_cmd =
       & info [ "n" ] ~docv:"N" ~doc:"Vertex count (the stream's universe).")
   in
   let copies = Arg.(value & opt int 6 & info [ "copies" ] ~doc:"Sampler redundancy.") in
-  let run seed n copies input =
+  let run metrics seed n copies input =
     (* Stream format: one op per line, "+ u v" inserts, "- u v" deletes. *)
     let rng = Prng.create seed in
     let sk = Agm_sketch.create ~copies rng ~n in
@@ -385,9 +406,9 @@ let connectivity_cmd =
     Printf.printf "spanning forest: %d edges; components (w.h.p.): %d; connected: %b\n"
       (List.length forest) distinct
       (List.length forest = n - 1);
-    0
+    finish metrics 0
   in
-  let term = Term.(const run $ seed_arg $ n_arg $ copies $ input_arg) in
+  let term = Term.(const run $ metrics_arg $ seed_arg $ n_arg $ copies $ input_arg) in
   Cmd.v
     (Cmd.info "connectivity"
        ~doc:"Dynamic connectivity over an insert/delete edge stream (AGM sketch).")
@@ -398,7 +419,7 @@ let connectivity_cmd =
 let distributed_cmd =
   let eps = Arg.(value & opt float 0.25 & info [ "eps" ] ~doc:"Accuracy ε.") in
   let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Server count.") in
-  let run seed eps servers input =
+  let run metrics seed eps servers input =
     let g = with_input input read_ugraph in
     let rng = Prng.create seed in
     let shards = Partition.random rng ~servers g in
@@ -409,9 +430,9 @@ let distributed_cmd =
       r.Coordinator.total_bits r.Coordinator.forall_bits r.Coordinator.foreach_bits;
     Printf.printf "baselines:     ship-all %d bits, forall@eps %d bits\n"
       r.Coordinator.naive_bits r.Coordinator.fullacc_forall_bits;
-    0
+    finish metrics 0
   in
-  let term = Term.(const run $ seed_arg $ eps $ servers $ input_arg) in
+  let term = Term.(const run $ metrics_arg $ seed_arg $ eps $ servers $ input_arg) in
   Cmd.v (Cmd.info "distributed" ~doc:"Distributed min-cut pipeline.") term
 
 let () =

@@ -1,3 +1,16 @@
+module Metrics = Dcs_obs_core.Metrics
+
+(* Registry-backed mirrors of the per-channel meters: every bit recorded on
+   any channel instance also lands here, so E18 can cross-check the global
+   accounting against the per-instance sums — they must agree exactly. *)
+let m_bits = Metrics.counter "channel.bits"
+let m_messages = Metrics.counter "channel.messages"
+let m_first_send_bits = Metrics.counter "channel.first_send_bits"
+let m_retransmit_bits = Metrics.counter "channel.retransmit_bits"
+let m_deliveries = Metrics.counter "channel.deliveries"
+let m_drops = Metrics.counter "channel.drops"
+let m_corruptions = Metrics.counter "channel.corruptions_injected"
+
 type t = { mutable bits : int; mutable rounds : int }
 
 let create () = { bits = 0; rounds = 0 }
@@ -5,7 +18,9 @@ let create () = { bits = 0; rounds = 0 }
 let send t ~bits =
   if bits < 0 then invalid_arg "Channel.send: negative bits";
   t.bits <- t.bits + bits;
-  t.rounds <- t.rounds + 1
+  t.rounds <- t.rounds + 1;
+  Metrics.inc ~by:bits m_bits;
+  Metrics.inc m_messages
 
 let exchange = send
 
@@ -44,14 +59,19 @@ let flip_one_bit fault payload =
 
 let transmit l ?(retransmission = false) ~bits payload =
   send (if retransmission then l.retrans else l.first) ~bits;
+  Metrics.inc ~by:bits
+    (if retransmission then m_retransmit_bits else m_first_send_bits);
   if Fault.drops_message l.fault then begin
     l.dropped <- l.dropped + 1;
+    Metrics.inc m_drops;
     Dropped
   end
   else begin
     l.delivered <- l.delivered + 1;
+    Metrics.inc m_deliveries;
     if payload <> "" && Fault.corrupts_message l.fault then begin
       l.corrupted <- l.corrupted + 1;
+      Metrics.inc m_corruptions;
       Received (flip_one_bit l.fault payload)
     end
     else Received payload

@@ -41,6 +41,18 @@
     - {!Partition}, {!Coordinator} — the ACK+16 pipeline from the
       introduction. *)
 
+(** The observability substrate: {!Obs.Metrics} (per-domain sharded
+    counters, gauges and exponential-bucket histograms with a deterministic
+    merge), {!Obs.Trace} (spans with Chrome trace export, [DCS_TRACE]),
+    {!Obs.Report} (the registry rendered as text tables and JSON snapshots,
+    [DCS_METRICS]). Every layer below funnels its accounting here; E18
+    cross-checks the registry against the bespoke meters. *)
+module Obs = struct
+  module Metrics = Dcs_obs_core.Metrics
+  module Trace = Dcs_obs_core.Trace
+  module Report = Dcs_obs.Report
+end
+
 module Prng = Dcs_util.Prng
 module Pool = Dcs_util.Pool
 module Stats = Dcs_util.Stats

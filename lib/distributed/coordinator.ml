@@ -5,6 +5,23 @@ module Sketch = Dcs_sketch.Sketch
 module Prng = Dcs_util.Prng
 module Fault = Dcs_util.Fault
 module Channel = Dcs_comm.Channel
+module Metrics = Dcs_obs_core.Metrics
+module Trace = Dcs_obs_core.Trace
+
+(* Registry mirrors of the per-run [fault_report] meters: each run bumps
+   these by the report's values, so a registry delta over a batch equals the
+   field-wise sum of the batch's reports (E18 relies on that identity). *)
+let m_runs = Metrics.counter "coord.runs"
+let m_shards = Metrics.counter "coord.shards"
+let m_retrans = Metrics.counter "coord.retransmissions"
+let m_drops = Metrics.counter "coord.drops_seen"
+let m_corrupt = Metrics.counter "coord.corruptions_detected"
+let m_stragglers = Metrics.counter "coord.stragglers"
+let m_spec = Metrics.counter "coord.speculative_retransmissions"
+let m_coarse_lost = Metrics.counter "coord.coarse_lost"
+let m_fine_lost = Metrics.counter "coord.fine_lost"
+let m_backoff = Metrics.counter "coord.backoff_units"
+let m_candidates = Metrics.histogram ~buckets:12 "coord.candidate_cuts"
 
 type config = {
   eps : float;
@@ -147,6 +164,9 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
   if retry_budget < 0 then
     invalid_arg "Coordinator.min_cut_robust: retry_budget must be >= 0";
   if Array.length shards = 0 then invalid_arg "Coordinator.min_cut: no shards";
+  Trace.with_span "coord.min_cut" @@ fun () ->
+  Metrics.inc m_runs;
+  Metrics.inc ~by:(Array.length shards) m_shards;
   let n = Ugraph.n shards.(0) in
   let lossy = Channel.create_lossy fault in
   (* Server side: each shard produces its two sketches and ships them in
@@ -158,6 +178,7 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
     if Ugraph.m shard = 0 then shard else builder shard
   in
   let coarse =
+    Trace.with_span "coord.coarse" @@ fun () ->
     Array.map
       (fun shard ->
         deliver_sketch lossy ~fault ~retry_budget
@@ -165,6 +186,7 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
       shards
   in
   let fine =
+    Trace.with_span "coord.fine" @@ fun () ->
     Array.map
       (fun shard ->
         deliver_sketch lossy ~fault ~retry_budget
@@ -184,9 +206,11 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
     failwith
       "Coordinator.min_cut_robust: merged coarse sparsifier disconnected (shards lost past the retry budget)";
   let candidates =
+    Trace.with_span "coord.candidates" @@ fun () ->
     Dcs_mincut.Karger.candidate_cuts rng ~trials:cfg.karger_trials
       ~factor:cfg.candidate_factor merged
   in
+  Metrics.observe m_candidates (List.length candidates);
   let coarse_estimate =
     match candidates with [] -> infinity | (v, _) :: _ -> v
   in
@@ -217,6 +241,7 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
     *. scale
   in
   let best =
+    Trace.with_span "coord.refine" @@ fun () ->
     List.fold_left
       (fun acc (_, cut) ->
         let v = score cut in
@@ -290,6 +315,14 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
       degraded = coarse_lost > 0 || fine_lost > 0;
     }
   in
+  Metrics.inc ~by:report.retransmissions m_retrans;
+  Metrics.inc ~by:report.drops_seen m_drops;
+  Metrics.inc ~by:report.corruptions_detected m_corrupt;
+  Metrics.inc ~by:report.stragglers m_stragglers;
+  Metrics.inc ~by:report.speculative_retransmissions m_spec;
+  Metrics.inc ~by:report.coarse_lost m_coarse_lost;
+  Metrics.inc ~by:report.fine_lost m_fine_lost;
+  Metrics.inc ~by:report.backoff_units m_backoff;
   { base; report }
 
 let min_cut rng cfg shards =

@@ -1,4 +1,9 @@
 module Prng = Dcs_util.Prng
+module Metrics = Dcs_obs_core.Metrics
+module Trace = Dcs_obs_core.Trace
+
+let m_runs = Metrics.counter "estimator.runs"
+let m_search_calls = Metrics.counter "estimator.search_calls"
 
 type mode = Original | Modified
 
@@ -15,6 +20,8 @@ type result = {
 let estimate ?(c0 = 2.0) ?(beta0 = 0.5) ?(c_margin = 4.0) ?faulty rng oracle ~eps
     ~mode =
   if eps <= 0.0 || eps > 1.0 then invalid_arg "Estimator.estimate: eps in (0,1]";
+  Trace.with_span "estimator.estimate" @@ fun () ->
+  Metrics.inc m_runs;
   (match faulty with
   | Some f when Faulty_oracle.oracle f != oracle ->
       invalid_arg "Estimator.estimate: faulty wrapper must wrap the given oracle"
@@ -51,6 +58,7 @@ let estimate ?(c0 = 2.0) ?(beta0 = 0.5) ?(c_margin = 4.0) ?faulty rng oracle ~ep
   in
   let t_final = Float.max 1.0 (t_accepted /. margin) in
   let final = Verify_guess.run ~c0 ?faulty rng oracle ~degrees ~t:t_final ~eps in
+  Metrics.inc ~by:!search_calls m_search_calls;
   let stats = Oracle.stats oracle in
   {
     estimate = final.Verify_guess.estimate;

@@ -1,5 +1,11 @@
 module Fault = Dcs_util.Fault
 module Retry = Dcs_util.Retry
+module Metrics = Dcs_obs_core.Metrics
+
+let m_retries = Metrics.counter "oracle.retries"
+let m_votes = Metrics.counter "oracle.votes_cast"
+let m_retry_hist = Metrics.histogram ~buckets:8 "oracle.retry_attempts"
+let m_vote_hist = Metrics.histogram ~buckets:8 "oracle.votes_per_query"
 
 type t = {
   oracle : Oracle.t;
@@ -35,16 +41,21 @@ let vote t attempt =
   let out = Retry.with_budget ~budget:t.retry_budget (fun ~attempt:_ -> attempt ()) in
   t.retries <- t.retries + (out.Retry.attempts - 1);
   t.backoff_units <- t.backoff_units + out.Retry.backoff_units;
+  Metrics.inc ~by:(out.Retry.attempts - 1) m_retries;
+  Metrics.observe m_retry_hist out.Retry.attempts;
   out.Retry.value
 
 (* Majority over [vote_k] votes; a vote whose every retry timed out
    abstains, and a query where all votes abstain is a hard failure. *)
 let robust t ~name attempt =
+  let votes_before = t.votes_cast in
   let winner =
     Retry.majority ~k:t.vote_k (fun _ ->
         t.votes_cast <- t.votes_cast + 1;
+        Metrics.inc m_votes;
         vote t attempt)
   in
+  Metrics.observe m_vote_hist (t.votes_cast - votes_before);
   match winner with
   | Some (v, _) -> v
   | None ->

@@ -1,4 +1,13 @@
 module Ugraph = Dcs_graph.Ugraph
+module Metrics = Dcs_obs_core.Metrics
+
+(* Registry mirrors of the per-oracle meters: bumped exactly when a query
+   is paid for (memoized repeats stay free), so the registry total always
+   equals the sum of [total_queries] over all oracle instances — E18
+   asserts this. *)
+let m_degree = Metrics.counter "oracle.degree_queries"
+let m_edge = Metrics.counter "oracle.edge_queries"
+let m_adjacency = Metrics.counter "oracle.adjacency_queries"
 
 type t = {
   graph : Ugraph.t;
@@ -43,20 +52,26 @@ let check_vertex t u =
 
 let degree t u =
   check_vertex t u;
-  pay_once t t.seen_degree (u, u) (fun () -> t.degree_q <- t.degree_q + 1);
+  pay_once t t.seen_degree (u, u) (fun () ->
+      t.degree_q <- t.degree_q + 1;
+      Metrics.inc m_degree);
   Array.length t.neighbors.(u)
 
 let ith_neighbor t u i =
   check_vertex t u;
   if i < 0 then invalid_arg "Oracle.ith_neighbor: negative index";
-  pay_once t t.seen_edge (u, i) (fun () -> t.edge_q <- t.edge_q + 1);
+  pay_once t t.seen_edge (u, i) (fun () ->
+      t.edge_q <- t.edge_q + 1;
+      Metrics.inc m_edge);
   if i < Array.length t.neighbors.(u) then Some t.neighbors.(u).(i) else None
 
 let adjacent t u v =
   check_vertex t u;
   check_vertex t v;
   let key = if u < v then (u, v) else (v, u) in
-  pay_once t t.seen_adj key (fun () -> t.adj_q <- t.adj_q + 1);
+  pay_once t t.seen_adj key (fun () ->
+      t.adj_q <- t.adj_q + 1;
+      Metrics.inc m_adjacency);
   Ugraph.mem_edge t.graph u v
 
 type stats = {

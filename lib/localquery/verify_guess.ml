@@ -12,6 +12,7 @@ type outcome = {
 let run ?(c0 = 2.0) ?(threshold = 0.5) ?faulty rng oracle ~degrees ~t ~eps =
   if t <= 0.0 then invalid_arg "Verify_guess.run: t > 0";
   if eps <= 0.0 || eps > 1.0 then invalid_arg "Verify_guess.run: eps in (0,1]";
+  Dcs_obs_core.Trace.with_span "verify_guess.run" @@ fun () ->
   let n = Oracle.n oracle in
   if Array.length degrees <> n then invalid_arg "Verify_guess.run: degrees length";
   let ith_neighbor =

@@ -5,6 +5,11 @@ module Decode_matrix = Dcs_linalg.Decode_matrix
 module Pm_vector = Dcs_linalg.Pm_vector
 module Bits = Dcs_util.Bits
 module Sketch = Dcs_sketch.Sketch
+module Metrics = Dcs_obs_core.Metrics
+module Trace = Dcs_obs_core.Trace
+
+let m_bits_decoded = Metrics.counter "foreach_lb.bits_decoded"
+let m_cut_queries = Metrics.counter "foreach_lb.cut_queries"
 
 type params = { n : int; beta : int; inv_eps : int; c1 : float }
 
@@ -93,6 +98,7 @@ let encode p ~s =
   if Array.length s <> bits_capacity p then
     invalid_arg "Foreach_lb.encode: wrong string length";
   Array.iter (fun z -> if z <> 1 && z <> -1 then invalid_arg "Foreach_lb.encode: signs") s;
+  Trace.with_span "foreach_lb.encode" @@ fun () ->
   let lay = layout p in
   let dm = Decode_matrix.create ~k:(Dcs_util.Stats.log2 (float_of_int p.inv_eps) |> int_of_float) in
   assert (Decode_matrix.q dm = p.inv_eps);
@@ -179,6 +185,9 @@ let fixed_backward_weight p a =
 type decode_result = { decoded : int; estimate : float; queries_used : int }
 
 let decode_bit p ~query q =
+  Trace.with_span "foreach_lb.decode_bit" @@ fun () ->
+  Metrics.inc m_bits_decoded;
+  Metrics.inc ~by:4 m_cut_queries;
   let a = address_of_index p q in
   let back = fixed_backward_weight p a in
   let combo side_a side_b =

@@ -1,0 +1,193 @@
+(* Lightweight spans with Chrome trace-event export.
+
+   Disabled (the default) a span is one atomic load and a closure call —
+   cheap enough to leave in encode/decode hot paths. Enabled, each span
+   records wall-clock duration into a per-domain aggregation table (count,
+   total, child time — self time is total minus children) and, when
+   DCS_TRACE names a file, appends a complete ("ph":"X") Chrome trace
+   event. Wall clock never reaches Metrics snapshots: timing is reported
+   only here. *)
+
+let env_var = "DCS_TRACE"
+
+let active = Atomic.make false
+
+(* Events are exported with timestamps relative to module load so the
+   Chrome timeline starts near zero. *)
+let t0 = Unix.gettimeofday ()
+
+let export_path =
+  match Sys.getenv_opt env_var with
+  | Some p when String.trim p <> "" -> Some (String.trim p)
+  | _ -> None
+
+let enabled () = Atomic.get active
+let enable () = Atomic.set active true
+let disable () = Atomic.set active false
+
+type event = {
+  ev_name : string;
+  ev_ts : float; (* seconds since t0 *)
+  ev_dur : float; (* seconds *)
+  ev_tid : int;
+  ev_args : (string * string) list;
+}
+
+type srec = { mutable count : int; mutable total : float; mutable child : float }
+
+type frame = { f_name : string; f_start : float; mutable f_child : float }
+
+(* One state per domain that ever opened a span while tracing was on; all
+   states are registered globally so [stats]/[write_chrome] can merge them
+   after the pool joins (merging while worker domains are still tracing is
+   racy — callers aggregate at quiescent points). *)
+type dstate = {
+  tid : int;
+  mutable stack : frame list;
+  table : (string, srec) Hashtbl.t;
+  mutable events : event list; (* newest first *)
+}
+
+let reg_lock = Mutex.create ()
+let states : dstate list ref = ref []
+
+let dstate_key : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        {
+          tid = (Domain.self () :> int);
+          stack = [];
+          table = Hashtbl.create 32;
+          events = [];
+        }
+      in
+      Mutex.lock reg_lock;
+      states := st :: !states;
+      Mutex.unlock reg_lock;
+      st)
+
+let record st name start dur ~child args =
+  let r =
+    match Hashtbl.find_opt st.table name with
+    | Some r -> r
+    | None ->
+        let r = { count = 0; total = 0.0; child = 0.0 } in
+        Hashtbl.replace st.table name r;
+        r
+  in
+  r.count <- r.count + 1;
+  r.total <- r.total +. dur;
+  r.child <- r.child +. child;
+  if export_path <> None then
+    st.events <-
+      { ev_name = name; ev_ts = start -. t0; ev_dur = dur; ev_tid = st.tid;
+        ev_args = args }
+      :: st.events
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get active) then f ()
+  else begin
+    let st = Domain.DLS.get dstate_key in
+    let fr = { f_name = name; f_start = Unix.gettimeofday (); f_child = 0.0 } in
+    st.stack <- fr :: st.stack;
+    let finish () =
+      let now = Unix.gettimeofday () in
+      let dur = now -. fr.f_start in
+      (match st.stack with
+      | top :: rest when top == fr -> st.stack <- rest
+      | _ -> st.stack <- List.filter (fun g -> g != fr) st.stack);
+      record st name fr.f_start dur ~child:fr.f_child args;
+      match st.stack with
+      | parent :: _ -> parent.f_child <- parent.f_child +. dur
+      | [] -> ()
+    in
+    Fun.protect ~finally:finish f
+  end
+
+type stat = { name : string; count : int; total_s : float; self_s : float }
+
+let all_states () =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) @@ fun () -> !states
+
+let stats () =
+  let merged : (string, srec) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun name (r : srec) ->
+          match Hashtbl.find_opt merged name with
+          | Some m ->
+              m.count <- m.count + r.count;
+              m.total <- m.total +. r.total;
+              m.child <- m.child +. r.child
+          | None ->
+              Hashtbl.replace merged name
+                { count = r.count; total = r.total; child = r.child })
+        st.table)
+    (all_states ());
+  Hashtbl.fold
+    (fun name (r : srec) acc ->
+      { name; count = r.count; total_s = r.total;
+        self_s = Float.max 0.0 (r.total -. r.child) }
+      :: acc)
+    merged []
+  |> List.sort (fun a b ->
+         match compare b.self_s a.self_s with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let reset () =
+  List.iter
+    (fun st ->
+      Hashtbl.reset st.table;
+      st.events <- [])
+    (all_states ())
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_chrome oc =
+  let events =
+    List.concat_map (fun st -> st.events) (all_states ())
+    |> List.sort (fun a b -> compare a.ev_ts b.ev_ts)
+  in
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+        (json_escape e.ev_name) (e.ev_ts *. 1e6) (e.ev_dur *. 1e6) e.ev_tid
+        (String.concat ","
+           (List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              e.ev_args)))
+    events;
+  output_string oc "\n]}\n"
+
+(* DCS_TRACE=<path> turns tracing on for the whole process and dumps the
+   Chrome file at exit. *)
+let () =
+  match export_path with
+  | None -> ()
+  | Some path ->
+      enable ();
+      at_exit (fun () ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              write_chrome oc))

@@ -11,6 +11,7 @@ let probability ?(c = 4.0) ~eps g =
     c *. w *. log n /. (eps *. eps *. k)
 
 let sparsify ?c rng ~eps g =
+  Dcs_obs_core.Trace.with_span "sketch.bk.sparsify" @@ fun () ->
   Importance.sample_ugraph rng ~prob:(probability ?c ~eps g) g
 
 let sketch ?c rng ~eps g =

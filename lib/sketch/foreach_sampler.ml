@@ -8,6 +8,7 @@ let probability ?(c = 3.0) ~eps g =
     c *. w /. (eps *. eps *. k)
 
 let sparsify ?c rng ~eps g =
+  Dcs_obs_core.Trace.with_span "sketch.foreach.sparsify" @@ fun () ->
   Importance.sample_ugraph rng ~prob:(probability ?c ~eps g) g
 
 let sketch ?c rng ~eps g =

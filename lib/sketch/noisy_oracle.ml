@@ -14,9 +14,13 @@ let create ?(mode = Adversarial) rng ~eps g =
     | Deterministic_up -> 1.0 +. eps
     | Deterministic_down -> 1.0 -. eps
   in
+  let size_bits = Sketch.digraph_encoding_bits g in
+  Dcs_obs_core.Metrics.inc (Dcs_obs_core.Metrics.counter "sketch.built");
+  Dcs_obs_core.Metrics.inc ~by:size_bits
+    (Dcs_obs_core.Metrics.counter "sketch.size_bits");
   {
     Sketch.name = Printf.sprintf "noisy-oracle(eps=%g)" eps;
-    size_bits = Sketch.digraph_encoding_bits g;
+    size_bits;
     query = (fun s -> Cut.value g s *. factor ());
     graph = None;
   }

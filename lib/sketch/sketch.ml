@@ -1,6 +1,14 @@
 module Digraph = Dcs_graph.Digraph
 module Cut = Dcs_graph.Cut
 module Bits = Dcs_util.Bits
+module Metrics = Dcs_obs_core.Metrics
+
+(* Every graph-valued sketch construction funnels through [of_digraph], so
+   these two registry counters mirror the repo's bit accounting: the
+   registry total equals the sum of [size_bits] over all sketches built.
+   E18 cross-checks the equality. *)
+let m_built = Metrics.counter "sketch.built"
+let m_size_bits = Metrics.counter "sketch.size_bits"
 
 type t = {
   name : string;
@@ -35,6 +43,8 @@ let digraph_frame_bits g = digraph_encoding_bits g + checksum_bits
 let ugraph_frame_bits g = ugraph_encoding_bits g + checksum_bits
 
 let of_digraph ~name ~size_bits g =
+  Metrics.inc m_built;
+  Metrics.inc ~by:size_bits m_size_bits;
   { name; size_bits; query = (fun s -> Cut.value g s); graph = Some g }
 
 let median xs =

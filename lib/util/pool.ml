@@ -1,3 +1,20 @@
+module Metrics = Dcs_obs_core.Metrics
+module Trace = Dcs_obs_core.Trace
+
+(* Registry-backed scheduling meters. Everything here counts logical work
+   (tasks, rounds, restarts), never domains or chunks: snapshots must be
+   byte-identical across DCS_DOMAINS. Per-domain utilization is visible in
+   the trace ("pool.chunk" spans), which is wall-clock and excluded from
+   determinism diffs. *)
+let m_parallel_calls = Metrics.counter "pool.parallel_calls"
+let m_tasks = Metrics.counter "pool.tasks"
+let m_supervised_tasks = Metrics.counter "pool.supervised_tasks"
+let m_rounds = Metrics.counter "pool.supervised_rounds"
+let m_restarts = Metrics.counter "pool.restarts"
+let m_crashes = Metrics.counter "pool.crashes"
+let m_hangs = Metrics.counter "pool.hangs"
+let m_poisoned = Metrics.counter "pool.poisoned"
+
 let env_var = "DCS_DOMAINS"
 
 let domain_count () =
@@ -47,18 +64,24 @@ let parallel_init ?domains ~n f =
     if d < 1 then invalid_arg "Pool.parallel_init: domains must be positive";
     min d (max 1 n)
   in
-  if d = 1 then Array.init n (wrap_task f)
+  Metrics.inc m_parallel_calls;
+  Metrics.inc ~by:n m_tasks;
+  if d = 1 then
+    Trace.with_span "pool.run" (fun () -> Array.init n (wrap_task f))
   else begin
     (* Slot [i] is written by exactly one domain and read only after the
        joins, so the array needs no lock; [None] marks a task whose chunk
        died before reaching it. *)
     let results = Array.make n None in
     let run_chunk c () =
+      Trace.with_span "pool.chunk" ~args:[ ("chunk", string_of_int c) ]
+      @@ fun () ->
       let lo, hi = chunk_bounds ~n ~chunks:d c in
       for i = lo to hi - 1 do
         results.(i) <- Some (wrap_task f i)
       done
     in
+    Trace.with_span "pool.run" @@ fun () ->
     let spawned = Array.init (d - 1) (fun c -> Domain.spawn (run_chunk (c + 1))) in
     (* Chunk 0 runs in the calling domain; remember its exception (if any)
        but always join every spawned domain before re-raising. *)
@@ -152,7 +175,10 @@ let run_attempt ~deadline ~master ~attempt task i =
       started = Unix.gettimeofday ();
     }
   in
-  match task ctx with
+  (* Journal this attempt's metric increments: a crashed or hung attempt
+     must leave no trace in the merged snapshot, so a retried task counts
+     exactly once. *)
+  match Metrics.in_attempt (fun () -> task ctx) with
   | v -> Ok v
   | exception Cancelled _ ->
       Error
@@ -186,6 +212,7 @@ let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices tas
   if d_requested < 1 then
     invalid_arg "Pool.run_supervised: domains must be positive";
   let k = Array.length indices in
+  Metrics.inc ~by:k m_supervised_tasks;
   let results = Array.make k None in
   let failures = ref [] (* reverse chronological *) in
   let crashes = ref 0 and hangs = ref 0 and restarts = ref 0 and rounds = ref 0 in
@@ -199,10 +226,15 @@ let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices tas
       if attempt > restart_budget then begin
         let i = indices.(pending.(0)) in
         let last = List.find (fun f -> f.failed_index = i) !failures in
+        Metrics.inc m_poisoned;
         raise (Poisoned { index = i; attempts = attempt; last })
       end;
       incr rounds;
-      if attempt > 0 then restarts := !restarts + Array.length pending;
+      Metrics.inc m_rounds;
+      if attempt > 0 then begin
+        restarts := !restarts + Array.length pending;
+        Metrics.inc ~by:(Array.length pending) m_restarts
+      end;
       let np = Array.length pending in
       let outcomes = Array.make np None in
       let run_slot pos =
@@ -218,6 +250,8 @@ let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices tas
         done
       else begin
         let run_chunk c () =
+          Trace.with_span "pool.chunk" ~args:[ ("chunk", string_of_int c) ]
+          @@ fun () ->
           let lo, hi = chunk_bounds ~n:np ~chunks:d c in
           for pos = lo to hi - 1 do
             run_slot pos
@@ -236,7 +270,8 @@ let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices tas
         | Some (Ok v) -> results.(pending.(pos)) <- Some v
         | Some (Error f) ->
             failures := f :: !failures;
-            if f.hung then incr hangs else incr crashes;
+            if f.hung then begin incr hangs; Metrics.inc m_hangs end
+            else begin incr crashes; Metrics.inc m_crashes end;
             still := pending.(pos) :: !still
         | None -> assert false
       done;

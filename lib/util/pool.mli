@@ -20,7 +20,14 @@
     crash isolation (a worker exception fails one task, not the batch),
     cooperative per-task deadlines, and deterministic re-execution of
     failed tasks on fresh domains from their own [Prng.split] streams,
-    bounded by a restart budget before a task is declared {!Poisoned}. *)
+    bounded by a restart budget before a task is declared {!Poisoned}.
+
+    The engine meters itself into {!Dcs_obs_core.Metrics} ([pool.tasks],
+    [pool.crashes], [pool.restarts], ... — counts of logical events only,
+    never anything domain-count dependent) and brackets runs and per-domain
+    chunks in {!Dcs_obs_core.Trace} spans. Supervised attempts run inside
+    {!Dcs_obs_core.Metrics.in_attempt}, so a crashed-and-retried task's own
+    increments commit exactly once. *)
 
 val env_var : string
 (** ["DCS_DOMAINS"]. *)

@@ -16,6 +16,8 @@ let stddev xs = sqrt (variance xs)
 let quantile xs q =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if not (q >= 0.0 && q <= 1.0) then
+    invalid_arg "Stats.quantile: q must lie in [0, 1]";
   let s = Array.copy xs in
   Array.sort compare s;
   if n = 1 then s.(0)
@@ -79,6 +81,8 @@ let loglog_slope pts =
 
 let histogram ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then [||]
+  else begin
   let lo, hi = min_max xs in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
   let counts = Array.make bins 0 in
@@ -88,3 +92,18 @@ let histogram ~bins xs =
       counts.(b) <- counts.(b) + 1)
     xs;
   Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+  end
+
+let bucket_bars ?(width = 24) counts =
+  if width < 1 then invalid_arg "Stats.bucket_bars: width must be positive";
+  let most = Array.fold_left max 0 counts in
+  Array.map
+    (fun c ->
+      if c < 0 then invalid_arg "Stats.bucket_bars: negative count";
+      if most = 0 then ""
+      else begin
+        (* Nonzero counts always get at least one mark. *)
+        let len = c * width / most in
+        String.make (if c > 0 then max 1 len else 0) '#'
+      end)
+    counts

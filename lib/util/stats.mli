@@ -10,7 +10,9 @@ val stddev : float array -> float
 
 val quantile : float array -> float -> float
 (** [quantile xs q] for [q] in [0,1], linear interpolation on the sorted
-    copy. Raises [Invalid_argument] on an empty array. *)
+    copy. On a singleton array every quantile is the lone element. Raises
+    [Invalid_argument] on an empty array and on [q] outside [0,1]
+    (including NaN) — a silent clamp would hide caller bugs. *)
 
 val median : float array -> float
 
@@ -35,4 +37,13 @@ val loglog_slope : (float * float) array -> float
 (** Slope of log y against log x; all coordinates must be positive. *)
 
 val histogram : bins:int -> float array -> (float * int) array
-(** Equal-width histogram: [(left_edge, count)] per bin. *)
+(** Equal-width histogram: [(left_edge, count)] per bin. Raises
+    [Invalid_argument] when [bins <= 0]; the empty input yields the empty
+    histogram [[||]] (there is no data range to split into bins). *)
+
+val bucket_bars : ?width:int -> int array -> string array
+(** Proportional ['#'] bars for bucket counts, longest bar = [width]
+    (default 24) marks, nonzero counts always at least one mark. Shared by
+    {!histogram} consumers and the {!Dcs_obs.Report} histogram tables so
+    every bucket rendering in the repo looks the same. Raises
+    [Invalid_argument] on a nonpositive [width] or a negative count. *)

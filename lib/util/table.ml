@@ -73,9 +73,49 @@ let render t =
     rows;
   Buffer.contents buf
 
+(* --- capture (for machine-readable dumps of a bench run) --- *)
+
+let capturing = ref false
+let captured_rev : t list ref = ref []
+
+let set_capture b =
+  capturing := b;
+  if not b then captured_rev := []
+
+let captured () = List.rev !captured_rev
+let captured_count () = List.length !captured_rev
+
 let print t =
+  if !capturing then captured_rev := t :: !captured_rev;
   print_string (render t);
   print_newline ()
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let cells cs = "[" ^ String.concat "," (List.map str cs) ^ "]" in
+  let rows =
+    List.filter_map (function Rule -> None | Cells cs -> Some (cells cs))
+      (List.rev t.rows)
+  in
+  Printf.sprintf "{\"title\":%s,\"columns\":%s,\"rows\":[%s]}" (str t.title)
+    (cells t.columns)
+    (String.concat "," rows)
 
 let fint = string_of_int
 

@@ -17,7 +17,26 @@ val add_rule : t -> unit
 val render : t -> string
 
 val print : t -> unit
-(** [render] followed by a trailing newline on stdout. *)
+(** [render] followed by a trailing newline on stdout. When capture is on
+    ({!set_capture}), the table is also recorded for a later JSON dump. *)
+
+(** {2 Capture / machine-readable export}
+
+    The bench harness's [--json] flag records every printed table and dumps
+    the run as structured JSON, so benchmark trajectories can be diffed by
+    tools instead of eyeballs. *)
+
+val set_capture : bool -> unit
+(** Start ([true]) or stop-and-clear ([false]) recording printed tables. *)
+
+val captured : unit -> t list
+(** Tables recorded so far, in print order. *)
+
+val captured_count : unit -> int
+
+val to_json : t -> string
+(** [{"title":..., "columns":[...], "rows":[[...], ...]}]; separator rules
+    are presentation only and are omitted. *)
 
 (** Cell formatting helpers. *)
 

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dcs"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("pool", Test_pool.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("linalg", Test_linalg.suite);

@@ -140,6 +140,19 @@ let test_quantiles () =
   check_float "q0" 1.0 (Stats.quantile xs 0.0);
   check_float "q1" 4.0 (Stats.quantile xs 1.0)
 
+let test_quantile_edges () =
+  (* every quantile of a singleton is the value itself *)
+  check_float "singleton q0.37" 5.0 (Stats.quantile [| 5.0 |] 0.37);
+  let raises q =
+    try
+      ignore (Stats.quantile [| 1.0; 2.0 |] q);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "q < 0 raises" true (raises (-0.01));
+  Alcotest.(check bool) "q > 1 raises" true (raises 1.01);
+  Alcotest.(check bool) "nan raises" true (raises Float.nan)
+
 let test_min_max () =
   let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
   check_float "min" (-1.0) lo;
@@ -170,6 +183,28 @@ let test_histogram () =
   Alcotest.(check int) "bins" 2 (Array.length h);
   Alcotest.(check int) "left count" 2 (snd h.(0));
   Alcotest.(check int) "right count" 2 (snd h.(1))
+
+let test_histogram_edges () =
+  Alcotest.(check int) "empty input -> no bins" 0
+    (Array.length (Stats.histogram ~bins:4 [||]));
+  Alcotest.(check bool) "bins <= 0 raises" true
+    (try
+       ignore (Stats.histogram ~bins:0 [| 1.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  (* all-equal samples land in a single degenerate bin *)
+  let h = Stats.histogram ~bins:3 [| 2.0; 2.0; 2.0 |] in
+  Alcotest.(check int) "total count preserved" 3
+    (Array.fold_left (fun acc (_, c) -> acc + c) 0 h)
+
+let test_bucket_bars () =
+  let bars = Stats.bucket_bars ~width:8 [| 0; 4; 8; 1 |] in
+  Alcotest.(check string) "zero count -> empty bar" "" bars.(0);
+  Alcotest.(check string) "half" "####" bars.(1);
+  Alcotest.(check string) "max fills the width" "########" bars.(2);
+  Alcotest.(check string) "tiny count still visible" "#" bars.(3);
+  Alcotest.(check (array string)) "all-zero counts" [| ""; "" |]
+    (Stats.bucket_bars [| 0; 0 |])
 
 (* --- Bits --- *)
 
@@ -313,11 +348,14 @@ let suite =
     Alcotest.test_case "prng: permutation uniform" `Quick test_permutation_uniform_position;
     Alcotest.test_case "stats: mean/variance" `Quick test_mean_variance;
     Alcotest.test_case "stats: quantiles" `Quick test_quantiles;
+    Alcotest.test_case "stats: quantile edge cases" `Quick test_quantile_edges;
     Alcotest.test_case "stats: min/max" `Quick test_min_max;
     Alcotest.test_case "stats: success rate" `Quick test_success_rate;
     Alcotest.test_case "stats: linear regression" `Quick test_linear_regression;
     Alcotest.test_case "stats: loglog slope" `Quick test_loglog_slope;
     Alcotest.test_case "stats: histogram" `Quick test_histogram;
+    Alcotest.test_case "stats: histogram edge cases" `Quick test_histogram_edges;
+    Alcotest.test_case "stats: bucket bars" `Quick test_bucket_bars;
     Alcotest.test_case "bits: counter" `Quick test_bits_counter;
     Alcotest.test_case "bits: bits_for_range" `Quick test_bits_for_range;
     Alcotest.test_case "bits: gamma size" `Quick test_gamma_size;
