@@ -1,0 +1,277 @@
+(* E19 — Representation: frozen CSR arrays vs hashtable adjacency on the
+   cut-evaluation hot paths.
+
+   Three claims are checked, all with the old path still executed as the
+   reference:
+
+   (a) The Lemma 4.4 enumerate decoder over the E4 battery grid and on a
+   4-chain instance: the CSR walk (one frozen build, one seed cut, then
+   [Csr.cut_delta] per membership flip) must return the SAME decision as
+   the per-subset full-query path on every instance — the encoder weights
+   {1, 2, 1/β} are dyadic for β a power of two, so both float summation
+   orders are exact and the argmax matches bit for bit. Aggregate speedups
+   are enforced (>= 2x on the battery, >= 5x on the enumerate instance) but
+   their wall-clock values go to stderr only: stdout carries counts and
+   agreement flags, and stays byte-identical across DCS_DOMAINS
+   (bin/check_determinism.sh diffs it at 1 vs 4 domains).
+
+   (b) k = 24: the CSR path decodes C(24,12) ≈ 2.7M subsets in seconds —
+   the configuration the old [k > 20] guard rejected outright.
+
+   (c) A Karger repetition sweep: every repetition's CSR-evaluated cut
+   value must equal a from-scratch hashtable recomputation exactly
+   (integer weights), and the csr.* registry counters must agree with
+   closed-form expectations, E18-style. *)
+
+open Dcs
+module F = Forall_lb
+module M = Obs.Metrics
+
+type probe = { counter : M.counter; before : int }
+
+let probe name =
+  let c = M.counter name in
+  { counter = c; before = M.counter_value c }
+
+let delta p = M.counter_value p.counter - p.before
+
+let all_agree = ref true
+
+let check t invariant ~expected ~registry =
+  let ok = expected = registry in
+  if not ok then all_agree := false;
+  Table.add_row t
+    [ invariant; Table.fint expected; Table.fint registry; Table.fbool ok ]
+
+let binom n k =
+  let k = min k (n - k) in
+  let acc = ref 1 in
+  for i = 1 to k do
+    acc := !acc * (n - k + i) / i
+  done;
+  !acc
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let speedup ~ref_s ~csr_s = ref_s /. Float.max csr_s 1e-9
+
+(* Decode every pre-generated instance through both paths; returns
+   (decisions agree, ref seconds, csr seconds). The reference path queries
+   the instance graph's hashtables directly (the pre-CSR behavior); the CSR
+   path freezes the same graph per decode. *)
+let decode_both p insts =
+  let n = Array.length insts in
+  let decode i ~frozen =
+    let inst = insts.(i) in
+    let g = inst.F.graph in
+    let graph = if frozen then Some g else None in
+    F.decode_enumerate ?graph p
+      ~query:(fun s -> Cut.value g s)
+      inst.F.target ~t:inst.F.gh.Gap_hamming.t
+  in
+  let ref_dec = Array.make n F.Delta_high in
+  let csr_dec = Array.make n F.Delta_high in
+  let (), ref_s =
+    time (fun () ->
+        for i = 0 to n - 1 do
+          ref_dec.(i) <- decode i ~frozen:false
+        done)
+  in
+  let (), csr_s =
+    time (fun () ->
+        for i = 0 to n - 1 do
+          csr_dec.(i) <- decode i ~frozen:true
+        done)
+  in
+  (ref_dec = csr_dec, ref_s, csr_s)
+
+let instances rng p ~trials =
+  let master = Prng.fork rng in
+  Array.init trials (fun i -> F.random_instance (Prng.split master i) p)
+
+let battery_table rng =
+  let t =
+    Table.create
+      ~title:
+        "E4 decode battery, Lemma 4.4 enumerate: per-subset queries vs frozen CSR"
+      ~columns:
+        [ "beta"; "1/eps^2"; "n"; "k"; "decodes"; "subsets/decode"; "decisions" ]
+  in
+  let total_ref = ref 0.0 and total_csr = ref 0.0 in
+  List.iter
+    (fun (beta, d) ->
+      let n = 2 * beta * d in
+      let p = F.make_params ~beta ~inv_eps_sq:d n in
+      let k = F.block_size p in
+      let trials = 20 in
+      let insts = instances rng p ~trials in
+      let agree, ref_s, csr_s = decode_both p insts in
+      if not agree then
+        failwith "E19: decode decisions diverge between representations";
+      total_ref := !total_ref +. ref_s;
+      total_csr := !total_csr +. csr_s;
+      Printf.eprintf "  [E19 battery beta=%d 1/eps^2=%d: ref %.3fs, csr %.3fs, %.1fx]\n%!"
+        beta d ref_s csr_s (speedup ~ref_s ~csr_s);
+      Table.add_row t
+        [
+          Table.fint beta; Table.fint d; Table.fint n; Table.fint k;
+          Table.fint trials;
+          Table.fint (binom k (k / 2));
+          "identical";
+        ])
+    [ (1, 8); (2, 8); (1, 16) ];
+  Table.print t;
+  let s = speedup ~ref_s:!total_ref ~csr_s:!total_csr in
+  Printf.eprintf "  [E19 battery total: ref %.3fs, csr %.3fs, speedup %.1fx]\n%!"
+    !total_ref !total_csr s;
+  if s < 2.0 then
+    failwith
+      (Printf.sprintf "E19: decode battery speedup %.2fx < 2x" s);
+  Common.note
+    "decisions identical on every instance; aggregate speedup >= 2x enforced";
+  Common.note "(wall-clock figures on stderr, excluded from the determinism diff)."
+
+let enumerate_table rng =
+  let t =
+    Table.create
+      ~title:"enumerate decoder: 4-chain k=16 (both paths) and k=24 (CSR only)"
+      ~columns:[ "beta"; "1/eps^2"; "n"; "k"; "decodes"; "subsets/decode"; "result" ]
+  in
+  (* k = 16 on the 4-chain graph: the reference path pays O(n + m) per
+     subset, the CSR path O(degree) per flip. *)
+  let p16 = F.make_params ~beta:1 ~inv_eps_sq:16 64 in
+  let insts16 = instances rng p16 ~trials:8 in
+  let agree, ref_s, csr_s = decode_both p16 insts16 in
+  if not agree then
+    failwith "E19: enumerate decisions diverge between representations";
+  let s = speedup ~ref_s ~csr_s in
+  Printf.eprintf "  [E19 enumerate k=16: ref %.3fs, csr %.3fs, speedup %.1fx]\n%!"
+    ref_s csr_s s;
+  if s < 5.0 then
+    failwith (Printf.sprintf "E19: enumerate decoder speedup %.2fx < 5x" s);
+  Table.add_row t
+    [
+      "1"; "16"; "64"; "16"; "8";
+      Table.fint (binom 16 8);
+      "decisions identical";
+    ];
+  (* k = 24 (the old guard rejected k > 20): C(24,12) subsets per decode,
+     tractable only incrementally. The decode is deterministic, so the
+     correctness count is stdout-safe. *)
+  let p24 = F.make_params ~beta:2 ~inv_eps_sq:12 48 in
+  let insts24 = instances rng p24 ~trials:3 in
+  let correct = ref 0 in
+  let (), csr24_s =
+    time (fun () ->
+        Array.iter
+          (fun inst ->
+            let g = inst.F.graph in
+            let d =
+              F.decode_enumerate ~graph:g p24
+                ~query:(fun s -> Cut.value g s)
+                inst.F.target ~t:inst.F.gh.Gap_hamming.t
+            in
+            if d = F.correct_decision inst then incr correct)
+          insts24)
+  in
+  Printf.eprintf "  [E19 enumerate k=24: csr %.3fs for 3 decodes]\n%!" csr24_s;
+  Table.add_row t
+    [
+      "2"; "12"; "48"; "24"; "3";
+      Table.fint (binom 24 12);
+      Printf.sprintf "csr only, correct %d/3" !correct;
+    ];
+  Table.print t;
+  Common.note "k = 24 was rejected by the pre-CSR guard (k > 20); the frozen";
+  Common.note "path walks its 2.7M subsets with O(degree) flips."
+
+let counters_table rng =
+  let t =
+    Table.create ~title:"csr.* registry vs expected (one frozen k=16 decode)"
+      ~columns:[ "invariant"; "expected"; "registry"; "agree" ]
+  in
+  let p = F.make_params ~beta:1 ~inv_eps_sq:16 32 in
+  let inst = F.random_instance rng p in
+  (* Closed-form flip count of the subset walk, from the walk itself. *)
+  let flips = ref 0 in
+  F.iter_combinations_incremental ~n:16 ~k:8
+    ~flip:(fun _ -> incr flips)
+    ~visit:(fun _ -> ());
+  let pb = probe "csr.builds" in
+  let pf = probe "csr.cut_full" in
+  let pd = probe "csr.cut_delta" in
+  let g = inst.F.graph in
+  let _ =
+    F.decode_enumerate ~graph:g p
+      ~query:(fun s -> Cut.value g s)
+      inst.F.target ~t:inst.F.gh.Gap_hamming.t
+  in
+  check t "csr.builds = 1 freeze per decode" ~expected:1 ~registry:(delta pb);
+  check t "csr.cut_full = 1 seed evaluation" ~expected:1 ~registry:(delta pf);
+  check t "csr.cut_delta = subset-walk flips" ~expected:!flips
+    ~registry:(delta pd);
+  Table.print t;
+  if not !all_agree then
+    failwith "E19: csr registry disagrees with closed-form expectations"
+
+let karger_table rng =
+  let t =
+    Table.create
+      ~title:"Karger repetition sweep: CSR cut values vs hashtable recomputation"
+      ~columns:[ "n"; "edges"; "runs"; "distinct cuts"; "values" ]
+  in
+  let g0 = Generators.erdos_renyi_connected rng ~n:96 ~p:0.08 in
+  let g = Generators.random_multigraph_weights rng g0 ~max_weight:8 in
+  let trials = 64 in
+  let cuts = Karger.candidate_cuts rng ~trials ~factor:4.0 g in
+  (* Byte-identity: integer weights make both summation orders exact, so
+     the CSR-evaluated repetition values equal hashtable recomputations
+     bit for bit. *)
+  let agree =
+    List.for_all (fun (v, c) -> v = Ugraph.cut_value g c) cuts
+  in
+  if not agree then
+    failwith "E19: Karger cut values diverge between representations";
+  (* Re-evaluation sweep, timed on both paths (stderr only). *)
+  let reps = 400 in
+  let csr = Csr.of_ugraph g in
+  let (), ref_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          List.iter (fun (_, c) -> ignore (Ugraph.cut_value g c)) cuts
+        done)
+  in
+  let (), csr_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          List.iter (fun (_, c) -> ignore (Csr.cut_value csr c)) cuts
+        done)
+  in
+  Printf.eprintf
+    "  [E19 karger eval sweep (%d cuts x %d): hashtable %.3fs, csr %.3fs, %.1fx]\n%!"
+    (List.length cuts) reps ref_s csr_s (speedup ~ref_s ~csr_s);
+  Table.add_row t
+    [
+      Table.fint (Ugraph.n g);
+      Table.fint (Ugraph.m g);
+      Table.fint trials;
+      Table.fint (List.length cuts);
+      "byte-identical";
+    ];
+  Table.print t;
+  Common.note "every repetition's value equals a from-scratch hashtable";
+  Common.note "recomputation exactly (integer weights)."
+
+let run () =
+  Common.section "E19 Representation: frozen CSR vs hashtable adjacency";
+  let rng = Common.rng_for 19 in
+  battery_table rng;
+  print_newline ();
+  enumerate_table rng;
+  print_newline ();
+  counters_table rng;
+  print_newline ();
+  karger_table rng

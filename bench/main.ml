@@ -47,6 +47,7 @@ let experiments =
     ("E16", "Fault injection: robustness overhead", false, Exp_fault.run);
     ("E17", "Chaos harness: supervision + checkpoint recovery", false, Exp_chaos.run);
     ("E18", "Profiling: instrumented 1.1/1.3 pipelines", false, Exp_profile.run);
+    ("E19", "Representation: frozen CSR vs hashtable adjacency", false, Exp_repr.run);
   ]
 
 let json_path : string option ref = ref None

@@ -4,7 +4,13 @@
 # (sequential fallback) and DCS_DOMAINS=4 (parallel fan-out). Any divergence
 # means per-trial seed-splitting leaked scheduling into a result.
 #
-# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4 E16 E17)
+# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4 E16 E17 E19)
+#
+# E19 is in the default set because it drives both graph representations —
+# the hashtable adjacency and the frozen CSR arrays — through the same
+# decodes and cut evaluations: its agreement flags and csr.* counter checks
+# must come out identical at every domain count (wall-clock figures go to
+# stderr and never enter the diff).
 #
 # E16 is in the default set because it exercises the fault-injection layer:
 # its drop/corruption/timeout/lie draws must come out of the split streams
@@ -27,7 +33,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4 E16 E17}"
+experiments="${*:-E3 E4 E16 E17 E19}"
 
 echo "== building =="
 dune build bench/main.exe test/main.exe

@@ -15,8 +15,9 @@
     - {!Checkpoint} — crash-safe, CRC-framed checkpoint/resume for
       supervised trial sweeps (atomic snapshots, corruption rejection).
     - {!Hadamard}, {!Pm_vector}, {!Decode_matrix} — the Lemma 3.2 machinery.
-    - {!Digraph}, {!Ugraph}, {!Cut}, {!Balance}, {!Generators},
-      {!Traversal} — graphs and cuts.
+    - {!Digraph}, {!Ugraph}, {!Csr}, {!Cut}, {!Balance}, {!Generators},
+      {!Traversal} — graphs and cuts ({!Csr} is the frozen flat-array view
+      the hot paths query).
     - {!Stoer_wagner}, {!Karger}, {!Dinic}, {!Brute} — exact and randomized
       minimum cuts.
     - {!Bitstring}, {!Channel}, {!Index_game}, {!Gap_hamming}, {!Two_sum} —
@@ -70,6 +71,7 @@ module Decode_matrix = Dcs_linalg.Decode_matrix
 
 module Digraph = Dcs_graph.Digraph
 module Ugraph = Dcs_graph.Ugraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 module Balance = Dcs_graph.Balance
 module Generators = Dcs_graph.Generators

@@ -233,11 +233,21 @@ let min_cut_robust ?(retry_budget = 4) rng cfg ~fault shards =
   let scale =
     if surviving_weight > 0.0 then total_weight /. surviving_weight else 1.0
   in
+  (* Freeze each surviving fine sketch once before the candidate loop: the
+     refinement evaluates every candidate cut against every shard, so the
+     per-shard hashtable scans would dominate. *)
+  let fine_frozen =
+    Array.map
+      (fun d -> Option.map Dcs_graph.Csr.of_ugraph d.got)
+      fine
+  in
   let score cut =
     Array.fold_left
-      (fun acc d ->
-        match d.got with Some h -> acc +. Ugraph.cut_value h cut | None -> acc)
-      0.0 fine
+      (fun acc h ->
+        match h with
+        | Some h -> acc +. Dcs_graph.Csr.cut_value h cut
+        | None -> acc)
+      0.0 fine_frozen
     *. scale
   in
   let best =

@@ -1,0 +1,213 @@
+(* Frozen compressed-sparse-row view of a graph: flat arrays, no hashing.
+
+   Built once from a mutable [Digraph]/[Ugraph] and then read-only, so a
+   sketch or solver freezes its graph a single time and answers every
+   subsequent cut query off contiguous memory. Rows are sorted by
+   destination, which makes iteration order (and therefore float summation
+   order) independent of hashtable history, and lets [weight] binary-search
+   a row. Both arc directions are stored; [reverse] is a field swap. *)
+
+module Metrics = Dcs_obs_core.Metrics
+
+(* Registry funnel (E19 cross-checks these): one [builds] per freeze, one
+   [cut_full] per from-scratch cut evaluation, one [cut_delta] per O(degree)
+   incremental update. All pure call counts — byte-identical across
+   DCS_DOMAINS. *)
+let m_builds = Metrics.counter "csr.builds"
+let m_cut_full = Metrics.counter "csr.cut_full"
+let m_cut_delta = Metrics.counter "csr.cut_delta"
+
+type t = {
+  n : int;
+  arcs : int;
+  out_off : int array;  (* length n+1; arcs leaving u at out_off.(u) .. *)
+  out_dst : int array;
+  out_w : float array;
+  in_off : int array;   (* the same arcs, grouped by head *)
+  in_src : int array;
+  in_w : float array;
+}
+
+let n t = t.n
+let m t = t.arcs
+
+let check_vertex t u name =
+  if u < 0 || u >= t.n then
+    invalid_arg (Printf.sprintf "Csr.%s: vertex %d" name u)
+
+(* Sort each row in place by endpoint. Rows come from merged hashtables, so
+   endpoints within a row are distinct and the sorted order is canonical. *)
+let sort_rows nv off dst w =
+  for u = 0 to nv - 1 do
+    let lo = off.(u) in
+    let len = off.(u + 1) - lo in
+    if len > 1 then begin
+      let row = Array.init len (fun i -> (dst.(lo + i), w.(lo + i))) in
+      Array.sort (fun (a, _) (b, _) -> compare a b) row;
+      Array.iteri
+        (fun i (d, x) ->
+          dst.(lo + i) <- d;
+          w.(lo + i) <- x)
+        row
+    end
+  done
+
+let prefix_sums off nv =
+  for i = 0 to nv - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i)
+  done
+
+let of_digraph g =
+  Metrics.inc m_builds;
+  let nv = Digraph.n g in
+  let out_off = Array.make (nv + 1) 0 in
+  let in_off = Array.make (nv + 1) 0 in
+  Digraph.iter_edges g (fun u v _ ->
+      out_off.(u + 1) <- out_off.(u + 1) + 1;
+      in_off.(v + 1) <- in_off.(v + 1) + 1);
+  prefix_sums out_off nv;
+  prefix_sums in_off nv;
+  let arcs = out_off.(nv) in
+  let out_dst = Array.make arcs 0 and out_w = Array.make arcs 0.0 in
+  let in_src = Array.make arcs 0 and in_w = Array.make arcs 0.0 in
+  let ocur = Array.sub out_off 0 (max 1 nv) in
+  let icur = Array.sub in_off 0 (max 1 nv) in
+  Digraph.iter_edges g (fun u v w ->
+      let i = ocur.(u) in
+      ocur.(u) <- i + 1;
+      out_dst.(i) <- v;
+      out_w.(i) <- w;
+      let j = icur.(v) in
+      icur.(v) <- j + 1;
+      in_src.(j) <- u;
+      in_w.(j) <- w);
+  sort_rows nv out_off out_dst out_w;
+  sort_rows nv in_off in_src in_w;
+  { n = nv; arcs; out_off; out_dst; out_w; in_off; in_src; in_w }
+
+let of_ugraph g =
+  Metrics.inc m_builds;
+  let nv = Ugraph.n g in
+  let off = Array.make (nv + 1) 0 in
+  Ugraph.iter_edges g (fun u v _ ->
+      off.(u + 1) <- off.(u + 1) + 1;
+      off.(v + 1) <- off.(v + 1) + 1);
+  prefix_sums off nv;
+  let arcs = off.(nv) in
+  let dst = Array.make arcs 0 and w = Array.make arcs 0.0 in
+  let cur = Array.sub off 0 (max 1 nv) in
+  let put u v x =
+    let i = cur.(u) in
+    cur.(u) <- i + 1;
+    dst.(i) <- v;
+    w.(i) <- x
+  in
+  Ugraph.iter_edges g (fun u v x ->
+      put u v x;
+      put v u x);
+  sort_rows nv off dst w;
+  (* Symmetric: the in-direction is the same physical arrays. *)
+  { n = nv; arcs; out_off = off; out_dst = dst; out_w = w;
+    in_off = off; in_src = dst; in_w = w }
+
+let reverse t =
+  {
+    t with
+    out_off = t.in_off;
+    out_dst = t.in_src;
+    out_w = t.in_w;
+    in_off = t.out_off;
+    in_src = t.out_dst;
+    in_w = t.out_w;
+  }
+
+let out_degree t u =
+  check_vertex t u "out_degree";
+  t.out_off.(u + 1) - t.out_off.(u)
+
+let in_degree t v =
+  check_vertex t v "in_degree";
+  t.in_off.(v + 1) - t.in_off.(v)
+
+let iter_out t u f =
+  check_vertex t u "iter_out";
+  for i = t.out_off.(u) to t.out_off.(u + 1) - 1 do
+    f t.out_dst.(i) t.out_w.(i)
+  done
+
+let iter_in t v f =
+  check_vertex t v "iter_in";
+  for i = t.in_off.(v) to t.in_off.(v + 1) - 1 do
+    f t.in_src.(i) t.in_w.(i)
+  done
+
+let weight t u v =
+  check_vertex t u "weight";
+  check_vertex t v "weight";
+  let lo = ref t.out_off.(u) and hi = ref (t.out_off.(u + 1) - 1) in
+  let found = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let d = t.out_dst.(mid) in
+    if d = v then begin
+      found := t.out_w.(mid);
+      lo := !hi + 1
+    end
+    else if d < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let mem_edge t u v = weight t u v > 0.0
+
+let total_weight t =
+  let acc = ref 0.0 in
+  for i = 0 to t.arcs - 1 do
+    acc := !acc +. t.out_w.(i)
+  done;
+  !acc
+
+let cut_weight t mem =
+  Metrics.inc m_cut_full;
+  let off = t.out_off and dst = t.out_dst and w = t.out_w in
+  let acc = ref 0.0 in
+  for u = 0 to t.n - 1 do
+    if mem u then
+      for i = off.(u) to off.(u + 1) - 1 do
+        if not (mem (Array.unsafe_get dst i)) then
+          acc := !acc +. Array.unsafe_get w i
+      done
+  done;
+  !acc
+
+let cut_weight_into t mem =
+  Metrics.inc m_cut_full;
+  let off = t.in_off and src = t.in_src and w = t.in_w in
+  let acc = ref 0.0 in
+  for v = 0 to t.n - 1 do
+    if mem v then
+      for i = off.(v) to off.(v + 1) - 1 do
+        if not (mem (Array.unsafe_get src i)) then
+          acc := !acc +. Array.unsafe_get w i
+      done
+  done;
+  !acc
+
+let cut_value t c =
+  if Cut.n c <> t.n then invalid_arg "Csr.cut_value: size mismatch";
+  cut_weight t (Cut.mem c)
+
+let cut_delta t side x =
+  if x < 0 || x >= t.n || Array.length side <> t.n then
+    invalid_arg "Csr.cut_delta";
+  Metrics.inc m_cut_delta;
+  let d = ref 0.0 in
+  for i = t.out_off.(x) to t.out_off.(x + 1) - 1 do
+    if not (Array.unsafe_get side (Array.unsafe_get t.out_dst i)) then
+      d := !d +. Array.unsafe_get t.out_w i
+  done;
+  for i = t.in_off.(x) to t.in_off.(x + 1) - 1 do
+    if Array.unsafe_get side (Array.unsafe_get t.in_src i) then
+      d := !d -. Array.unsafe_get t.in_w i
+  done;
+  if side.(x) then -. !d else !d

@@ -1,0 +1,70 @@
+(** Frozen compressed-sparse-row graphs: the hot-path representation.
+
+    A [Csr.t] is an immutable snapshot of a {!Digraph} or {!Ugraph} as flat
+    offset/endpoint/weight arrays, in both arc directions. Freezing costs
+    one pass over the edges plus a per-row sort; afterwards cut evaluation
+    is a contiguous scan and single-vertex cut updates are O(degree) via
+    {!cut_delta} — the workhorse of the Section 4 subset-enumeration
+    decoder and of every solver that evaluates many cuts of one graph.
+
+    Rows are sorted by endpoint, so iteration order — and hence float
+    summation order — is canonical: two CSR views of equal graphs give
+    byte-identical cut values, regardless of the hashtable history of the
+    source. The structure is read-only and safe to share across domains.
+
+    Builds and cut evaluations are metered in the {!Dcs_obs_core.Metrics}
+    registry as [csr.builds], [csr.cut_full] and [csr.cut_delta]. *)
+
+type t
+
+val of_digraph : Digraph.t -> t
+(** Freeze a directed graph. O(n + m log m). *)
+
+val of_ugraph : Ugraph.t -> t
+(** Freeze an undirected graph as its symmetric directed view: each
+    undirected edge becomes two opposite arcs of the same weight, and both
+    directions share one arc array. Directed cut values of the result equal
+    the undirected cut values of the source. *)
+
+val n : t -> int
+val m : t -> int
+(** Number of stored arcs (for [of_ugraph], twice the undirected edge
+    count). *)
+
+val reverse : t -> t
+(** Every arc flipped. O(1): swaps the two stored directions. *)
+
+val weight : t -> int -> int -> float
+(** Weight of arc (u, v), 0 if absent. Binary search: O(log degree). *)
+
+val mem_edge : t -> int -> int -> bool
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val iter_out : t -> int -> (int -> float -> unit) -> unit
+(** Out-neighbors in increasing vertex order. *)
+
+val iter_in : t -> int -> (int -> float -> unit) -> unit
+(** In-neighbors (sources) in increasing vertex order. *)
+
+val total_weight : t -> float
+(** Sum of all stored arc weights. *)
+
+val cut_weight : t -> (int -> bool) -> float
+(** [cut_weight t mem] is w(S, V\S) for S = \{v | mem v\}, summed in row
+    order. *)
+
+val cut_weight_into : t -> (int -> bool) -> float
+(** w(V\S, S): total weight entering S. *)
+
+val cut_value : t -> Cut.t -> float
+(** {!cut_weight} of a {!Cut.t} side; checks the size. *)
+
+val cut_delta : t -> bool array -> int -> float
+(** [cut_delta t side x] is the change to [cut_weight t (fun v -> side.(v))]
+    if vertex [x] switched sides — the caller flips [side.(x)] afterwards
+    and adds the returned delta to its running cut value. O(degree of x).
+    With weights whose sums are exact in floating point (integers, dyadic
+    rationals), a chain of deltas reproduces the from-scratch value bit for
+    bit. *)

@@ -1,6 +1,9 @@
-(* Adjacency is a hashtable per vertex, for both directions. The double
-   bookkeeping costs memory but makes cut computations, reversals, and
-   decoder-side weight lookups all O(degree) with no sorting. *)
+(* Adjacency is a hashtable per vertex, for both directions: the right
+   shape for *construction* — encoders, samplers and contraction build
+   graphs edge by edge with O(1) merge of parallel edges. Read-heavy code
+   (decoders, min-cut solvers, sketch queries) should freeze the finished
+   graph into a [Csr.t] and query that instead; the hashtables stay the
+   mutable build-side representation. *)
 
 type t = {
   nv : int;
@@ -24,10 +27,13 @@ let m g = g.edge_count
 let check_vertex g u name =
   if u < 0 || u >= g.nv then invalid_arg (Printf.sprintf "Digraph.%s: vertex %d" name u)
 
+let unsafe_weight g u v =
+  Option.value (Hashtbl.find_opt g.out_adj.(u) v) ~default:0.0
+
 let weight g u v =
   check_vertex g u "weight";
   check_vertex g v "weight";
-  Option.value (Hashtbl.find_opt g.out_adj.(u) v) ~default:0.0
+  unsafe_weight g u v
 
 let mem_edge g u v = weight g u v > 0.0
 
@@ -54,13 +60,16 @@ let add_edge g u v w =
   if w < 0.0 then invalid_arg "Digraph.add_edge: negative weight";
   if w > 0.0 then set_edge g u v (weight g u v +. w)
 
+let unsafe_iter_out g u f = Hashtbl.iter f g.out_adj.(u)
+let unsafe_iter_in g v f = Hashtbl.iter f g.in_adj.(v)
+
 let iter_out g u f =
   check_vertex g u "iter_out";
-  Hashtbl.iter f g.out_adj.(u)
+  unsafe_iter_out g u f
 
 let iter_in g v f =
   check_vertex g v "iter_in";
-  Hashtbl.iter f g.in_adj.(v)
+  unsafe_iter_in g v f
 
 let fold_out g u f init =
   check_vertex g u "fold_out";

@@ -34,6 +34,18 @@ val iter_out : t -> int -> (int -> float -> unit) -> unit
 
 val iter_in : t -> int -> (int -> float -> unit) -> unit
 
+val unsafe_weight : t -> int -> int -> float
+(** {!weight} without the two bounds checks. For hot loops whose vertex ids
+    are validated once at entry (decoders probing k·(1/ε²) pairs per
+    decode); out-of-range ids raise [Invalid_argument] from the array
+    access at best. *)
+
+val unsafe_iter_out : t -> int -> (int -> float -> unit) -> unit
+(** {!iter_out} without the bounds check. *)
+
+val unsafe_iter_in : t -> int -> (int -> float -> unit) -> unit
+(** {!iter_in} without the bounds check. *)
+
 val fold_out : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
 
 val out_degree : t -> int -> int

@@ -1,5 +1,6 @@
 module Prng = Dcs_util.Prng
 module Digraph = Dcs_graph.Digraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 module Bits = Dcs_util.Bits
 module Bitstring = Dcs_comm.Bitstring
@@ -87,8 +88,12 @@ type decision = Delta_high | Delta_low
 let correct_decision inst =
   if inst.gh.Gap_hamming.high then Delta_high else Delta_low
 
-let query_cut p a ~u_mem ~t =
-  let lay = layout p in
+(* The decode hot paths take the layout as an argument: [layout p] is cheap
+   but allocates, and the enumerate decoder issues one cut query per
+   half-size subset — reconstructing it inside [query_cut] /
+   [fixed_backward_weight] put an allocation in the innermost loop. The
+   public wrappers below rebuild it once per call. *)
+let query_cut_lay p lay a ~u_mem ~t =
   let block = lay.Layout.block in
   if Bitstring.length t <> p.inv_eps_sq then invalid_arg "Forall_lb.query_cut: t";
   let mem v =
@@ -104,8 +109,9 @@ let query_cut p a ~u_mem ~t =
   in
   Cut.of_mem ~n:p.n mem
 
-let fixed_backward_weight p a ~u_size =
-  let lay = layout p in
+let query_cut p a ~u_mem ~t = query_cut_lay p (layout p) a ~u_mem ~t
+
+let fixed_backward_weight_lay p lay a ~u_size =
   let k = lay.Layout.block in
   let half_t = p.inv_eps_sq / 2 in
   (* (V_{p+1}\T) -> (V_p\U), then U -> V_{p-1}, then V_{p+2} -> T. *)
@@ -116,14 +122,20 @@ let fixed_backward_weight p a ~u_size =
   in
   (within_pair +. from_u_back +. into_t) /. float_of_int p.beta
 
-let estimate_w_ut p ~query a ~u_mem ~t =
-  let k = block_size p in
+let fixed_backward_weight p a ~u_size =
+  fixed_backward_weight_lay p (layout p) a ~u_size
+
+let estimate_w_ut_lay p lay ~query a ~u_mem ~t =
+  let k = lay.Layout.block in
   let u_size = ref 0 in
   for o = 0 to k - 1 do
     if u_mem o then incr u_size
   done;
-  let s = query_cut p a ~u_mem ~t in
-  query s -. fixed_backward_weight p a ~u_size:!u_size
+  let s = query_cut_lay p lay a ~u_mem ~t in
+  query s -. fixed_backward_weight_lay p lay a ~u_size:!u_size
+
+let estimate_w_ut p ~query a ~u_mem ~t =
+  estimate_w_ut_lay p (layout p) ~query a ~u_mem ~t
 
 (* The "natural" one-query decoder the paper shows is too weak: estimate
    w({ℓ_i}, T) directly from S = {ℓ_i} ∪ (R\T) ∪ …  and threshold it at
@@ -138,34 +150,101 @@ let decode_single_query p ~query a ~t =
   let midpoint = (d /. 2.0) +. (d /. 4.0) in
   if est >= midpoint then Delta_low else Delta_high
 
-(* Iterate all size-[k] subsets of 0..n-1 as a membership array. *)
-let iter_combinations ~n ~k f =
+(* Iterate all size-[k] subsets of 0..n-1 as a membership array, announcing
+   every membership toggle through [flip]. The binomial recursion changes
+   one element per step, so consecutive visited subsets are connected by
+   O(1) flips on average (a revolving-door walk): an incremental consumer
+   keeps a running cut value via [Csr.cut_delta] instead of recomputing it
+   per subset. [flip o] fires after [mem.(o)] changed. *)
+let iter_combinations_incremental ~n ~k ~flip ~visit =
   let mem = Array.make n false in
   let rec go start remaining =
-    if remaining = 0 then f mem
+    if remaining = 0 then visit mem
     else if n - start >= remaining then begin
       (* include [start] *)
       mem.(start) <- true;
+      flip start;
       go (start + 1) (remaining - 1);
       mem.(start) <- false;
+      flip start;
       (* skip [start] *)
       go (start + 1) remaining
     end
   in
   go 0 k
 
-let decode_enumerate p ~query a ~t =
-  let k = block_size p in
-  if k > 20 then invalid_arg "Forall_lb.decode_enumerate: k too large (> 20)";
+let iter_combinations ~n ~k f =
+  iter_combinations_incremental ~n ~k ~flip:(fun _ -> ()) ~visit:f
+
+(* Reference decoder: one full-cut sketch query per subset. *)
+let decode_enumerate_query p lay ~query a ~t =
+  let k = lay.Layout.block in
   let best = ref neg_infinity in
   let best_q = Array.make k false in
   iter_combinations ~n:k ~k:(k / 2) (fun mem ->
-      let est = estimate_w_ut p ~query a ~u_mem:(fun o -> mem.(o)) ~t in
+      let est = estimate_w_ut_lay p lay ~query a ~u_mem:(fun o -> mem.(o)) ~t in
       if est > !best then begin
         best := est;
         Array.blit mem 0 best_q 0 k
       end);
   if best_q.(a.i) then Delta_low else Delta_high
+
+(* Incremental decoder for graph-valued sketches: freeze the sketch graph
+   into a CSR once, evaluate the first query cut from scratch, then walk
+   the subsets with [cut_delta] — O(degree) per flip instead of O(n + m)
+   per subset. Every subset has size exactly k/2, so the fixed backward
+   weight is a constant and the argmax (with the same strict-> tie-break,
+   in the same visiting order) matches [decode_enumerate_query] exactly
+   whenever cut sums are exact in floating point — in particular on the
+   encoder's weights {1, 2, 1/β} for β a power of two. *)
+let decode_enumerate_csr p lay csr a ~t =
+  let block = lay.Layout.block in
+  let k = block in
+  if Bitstring.length t <> p.inv_eps_sq then invalid_arg "Forall_lb.query_cut: t";
+  (* Membership of the query cut with U = ∅ (cf. [query_cut_lay]). *)
+  let side =
+    Array.init p.n (fun v ->
+        let chain = v / block in
+        if chain >= a.pair + 2 then true
+        else if chain = a.pair then false
+        else if chain = a.pair + 1 then begin
+          let off = v mod block in
+          let cluster = off / p.inv_eps_sq and pos = off mod p.inv_eps_sq in
+          not (cluster = a.j && t.(pos))
+        end
+        else false)
+  in
+  let base = Layout.block_start lay a.pair in
+  let cur = ref (Csr.cut_weight csr (fun v -> side.(v))) in
+  let back = fixed_backward_weight_lay p lay a ~u_size:(k / 2) in
+  let best = ref neg_infinity in
+  let best_q = Array.make k false in
+  iter_combinations_incremental ~n:k ~k:(k / 2)
+    ~flip:(fun o ->
+      let x = base + o in
+      cur := !cur +. Csr.cut_delta csr side x;
+      side.(x) <- not side.(x))
+    ~visit:(fun mem ->
+      let est = !cur -. back in
+      if est > !best then begin
+        best := est;
+        Array.blit mem 0 best_q 0 k
+      end);
+  if best_q.(a.i) then Delta_low else Delta_high
+
+let decode_enumerate ?graph p ~query a ~t =
+  let lay = layout p in
+  let k = lay.Layout.block in
+  match graph with
+  | Some g ->
+      (* O(degree) per subset: C(26,13) ≈ 10M steps is still tractable. *)
+      if k > 26 then
+        invalid_arg "Forall_lb.decode_enumerate: k too large (> 26)";
+      decode_enumerate_csr p lay (Csr.of_digraph g) a ~t
+  | None ->
+      (* A generic sketch costs a full query per subset. *)
+      if k > 20 then invalid_arg "Forall_lb.decode_enumerate: k too large (> 20)";
+      decode_enumerate_query p lay ~query a ~t
 
 (* Per-left-vertex score on a graph-valued sketch: sampled forward weight
    from ℓ_i into T. Summing scores over U gives exactly the sketch's
@@ -180,9 +259,11 @@ let topk_q_set p ~sketch_graph a ~t =
         let acc = ref 0.0 in
         for v = 0 to p.inv_eps_sq - 1 do
           if t.(v) then
+            (* [Layout.vertex] already validated both endpoints, so the
+               k·(1/ε²) probes skip the per-lookup bounds checks. *)
             acc :=
               !acc
-              +. Digraph.weight sketch_graph left
+              +. Digraph.unsafe_weight sketch_graph left
                    (right_vertex p lay ~chain:(a.pair + 1) ~j:a.j ~v)
         done;
         !acc)
@@ -226,10 +307,11 @@ let codec_bits p =
 
 let codec_sketch inst =
   let g = inst.graph in
+  let csr = Csr.of_digraph g in
   {
     Sketch.name = "instance-codec(for-all)";
     size_bits = codec_bits inst.params;
-    query = (fun s -> Cut.value g s);
+    query = (fun s -> Csr.cut_value csr s);
     graph = Some g;
   }
 
@@ -254,7 +336,9 @@ let run_trials ?domains rng p ~sketch_of ~decoder ~trials =
     let decision =
       match decoder with
       | `Single -> decode_single_query p ~query:sk.Sketch.query inst.target ~t
-      | `Enumerate -> decode_enumerate p ~query:sk.Sketch.query inst.target ~t
+      | `Enumerate ->
+          decode_enumerate ?graph:sk.Sketch.graph p ~query:sk.Sketch.query
+            inst.target ~t
       | `Topk -> (
           match sk.Sketch.graph with
           | Some g -> decode_topk p ~sketch_graph:g inst.target ~t

@@ -213,10 +213,11 @@ let codec_sketch inst =
   (* The graph is a deterministic function of (params, s); transmitting s is
      a complete description, so the codec answers queries exactly. *)
   let g = inst.graph in
+  let csr = Dcs_graph.Csr.of_digraph g in
   {
     Sketch.name = "instance-codec(for-each)";
     size_bits = codec_bits inst.params;
-    query = (fun s -> Cut.value g s);
+    query = (fun s -> Dcs_graph.Csr.cut_value csr s);
     graph = Some g;
   }
 

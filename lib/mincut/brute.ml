@@ -1,4 +1,5 @@
 module Cut = Dcs_graph.Cut
+module Csr = Dcs_graph.Csr
 
 let enumerate ~n value =
   if n < 2 || n > 24 then invalid_arg "Brute.mincut: need 2 <= n <= 24";
@@ -21,11 +22,15 @@ let enumerate ~n value =
   | Some c -> (!best, c)
   | None -> invalid_arg "Brute.mincut: no proper cut (n < 2?)"
 
+(* Both entry points freeze the graph once and evaluate all 2^(n-1) cuts
+   off the flat arrays. *)
 let mincut_ugraph g =
-  enumerate ~n:(Dcs_graph.Ugraph.n g) (fun c -> Dcs_graph.Ugraph.cut_value g c)
+  let csr = Csr.of_ugraph g in
+  enumerate ~n:(Dcs_graph.Ugraph.n g) (fun c -> Csr.cut_value csr c)
 
 let mincut_digraph g =
+  let csr = Csr.of_digraph g in
   enumerate ~n:(Dcs_graph.Digraph.n g) (fun c ->
-      let fwd = Cut.value g c in
-      let bwd = Cut.value g (Cut.complement c) in
+      let fwd = Csr.cut_value csr c in
+      let bwd = Csr.cut_value csr (Cut.complement c) in
       Float.min fwd bwd)

@@ -1,63 +1,91 @@
 module Digraph = Dcs_graph.Digraph
 module Ugraph = Dcs_graph.Ugraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 
-(* Arc-array representation: arcs stored in pairs, arc i and its reverse
-   (i lxor 1). [cap] holds residual capacity. *)
+(* Residual network in CSR form. Arcs come in pairs — arc [a] and its
+   reverse [a lxor 1] — and each vertex's arc ids occupy one contiguous
+   slice [off.(u) .. off.(u+1)-1] of [arcs], so the BFS/DFS scans walk flat
+   arrays instead of chasing a linked list. Networks are built from a
+   frozen [Csr] view of the source graph, which also makes the arc order
+   (and hence the augmenting-path order) canonical rather than an artifact
+   of hashtable history. *)
 
 type t = {
   n : int;
+  off : int array;           (* vertex -> first position in [arcs] *)
+  arcs : int array;          (* position -> arc id *)
   head : int array;          (* arc -> destination *)
-  next : int array;          (* arc -> next arc out of same tail *)
-  first : int array;         (* vertex -> first arc or -1 *)
   cap : float array;         (* residual capacities, mutated by maxflow *)
   cap0 : float array;        (* original capacities, for reset *)
   level : int array;
-  iter : int array;
+  iter : int array;          (* vertex -> current position during a phase *)
 }
 
 let eps = 1e-12
 
-let build n arcs =
-  let m = List.length arcs in
+let build n arc_list =
+  let m = List.length arc_list in
   let head = Array.make (2 * m) 0 in
-  let next = Array.make (2 * m) (-1) in
-  let first = Array.make n (-1) in
   let cap = Array.make (2 * m) 0.0 in
-  let idx = ref 0 in
+  let off = Array.make (n + 1) 0 in
   List.iter
-    (fun (u, v, c) ->
-      let a = !idx and b = !idx + 1 in
-      idx := !idx + 2;
+    (fun (u, v, _) ->
+      off.(u + 1) <- off.(u + 1) + 1;
+      off.(v + 1) <- off.(v + 1) + 1)
+    arc_list;
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i)
+  done;
+  let arcs = Array.make (2 * m) 0 in
+  let cur = Array.sub off 0 (max 1 n) in
+  let put u a =
+    let i = cur.(u) in
+    cur.(u) <- i + 1;
+    arcs.(i) <- a
+  in
+  List.iteri
+    (fun k (u, v, c) ->
+      let a = 2 * k and b = (2 * k) + 1 in
       head.(a) <- v;
       cap.(a) <- c;
-      next.(a) <- first.(u);
-      first.(u) <- a;
+      put u a;
       head.(b) <- u;
       cap.(b) <- 0.0;
-      next.(b) <- first.(v);
-      first.(v) <- b)
-    arcs;
+      put v b)
+    arc_list;
   {
     n;
+    off;
+    arcs;
     head;
-    next;
-    first;
     cap;
     cap0 = Array.copy cap;
     level = Array.make n (-1);
-    iter = Array.make n (-1);
+    iter = Array.make n 0;
   }
 
+(* Arcs of a frozen view in ascending (tail, head) order. *)
+let arcs_of_csr ?cap csr =
+  let acc = ref [] in
+  for u = Csr.n csr - 1 downto 0 do
+    let row = ref [] in
+    Csr.iter_out csr u (fun v w ->
+        row := (u, v, Option.value cap ~default:w) :: !row);
+    acc := List.rev_append !row !acc
+  done;
+  !acc
+
 let of_digraph g =
-  let arcs = Digraph.fold_edges (fun u v w acc -> (u, v, w) :: acc) g [] in
-  build (Digraph.n g) arcs
+  let csr = Csr.of_digraph g in
+  build (Digraph.n g) (arcs_of_csr csr)
 
 let of_ugraph g =
-  let arcs =
-    Ugraph.fold_edges (fun u v w acc -> (u, v, w) :: (v, u, w) :: acc) g []
-  in
-  build (Ugraph.n g) arcs
+  (* The symmetric CSR view already stores each undirected edge as a pair
+     of opposite arcs of the full capacity, which models undirected flow
+     exactly. *)
+  let csr = Csr.of_ugraph g in
+  build (Ugraph.n g) (arcs_of_csr csr)
 
 let reset t = Array.blit t.cap0 0 t.cap 0 (Array.length t.cap)
 
@@ -68,14 +96,13 @@ let bfs t s =
   Queue.add s q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    let a = ref t.first.(u) in
-    while !a >= 0 do
-      let v = t.head.(!a) in
-      if t.cap.(!a) > eps && t.level.(v) < 0 then begin
+    for p = t.off.(u) to t.off.(u + 1) - 1 do
+      let a = t.arcs.(p) in
+      let v = t.head.(a) in
+      if t.cap.(a) > eps && t.level.(v) < 0 then begin
         t.level.(v) <- t.level.(u) + 1;
         Queue.add v q
-      end;
-      a := t.next.(!a)
+      end
     done
   done
 
@@ -83,8 +110,9 @@ let rec dfs t u sink pushed =
   if u = sink then pushed
   else begin
     let result = ref 0.0 in
-    while !result = 0.0 && t.iter.(u) >= 0 do
-      let a = t.iter.(u) in
+    while !result = 0.0 && t.iter.(u) < t.off.(u + 1) do
+      let p = t.iter.(u) in
+      let a = t.arcs.(p) in
       let v = t.head.(a) in
       if t.cap.(a) > eps && t.level.(v) = t.level.(u) + 1 then begin
         let d = dfs t v sink (Float.min pushed t.cap.(a)) in
@@ -93,9 +121,9 @@ let rec dfs t u sink pushed =
           t.cap.(a lxor 1) <- t.cap.(a lxor 1) +. d;
           result := d
         end
-        else t.iter.(u) <- t.next.(a)
+        else t.iter.(u) <- p + 1
       end
-      else t.iter.(u) <- t.next.(a)
+      else t.iter.(u) <- p + 1
     done;
     !result
   end
@@ -109,7 +137,7 @@ let maxflow t ~s ~t:sink =
     bfs t s;
     if t.level.(sink) < 0 then continue := false
     else begin
-      Array.blit t.first 0 t.iter 0 t.n;
+      Array.blit t.off 0 t.iter 0 t.n;
       let rec augment () =
         let f = dfs t s sink infinity in
         if f > eps then begin
@@ -140,8 +168,6 @@ let edge_connectivity g =
   !best
 
 let edge_disjoint_paths g ~s ~t:sink =
-  let arcs =
-    Ugraph.fold_edges (fun u v _ acc -> (u, v, 1.0) :: (v, u, 1.0) :: acc) g []
-  in
-  let net = build (Ugraph.n g) arcs in
+  let csr = Csr.of_ugraph g in
+  let net = build (Ugraph.n g) (arcs_of_csr ~cap:1.0 csr) in
   int_of_float (Float.round (maxflow net ~s ~t:sink))

@@ -1,4 +1,5 @@
 module Ugraph = Dcs_graph.Ugraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 module Prng = Dcs_util.Prng
 
@@ -34,8 +35,13 @@ end
    Exp(w_e) = -ln(U)/w_e and contract edges in arrival order until two
    super-vertices remain. The first-arrival process picks each next edge
    with probability proportional to its weight among live edges, so this is
-   exactly weighted Karger contraction, in O(m log m) per run. *)
-let run_once rng g =
+   exactly weighted Karger contraction, in O(m log m) per run.
+
+   The RNG stream is a function of [Ugraph.edges g] order, so the clock
+   assignment stays on the hashtable edge list; only the final cut
+   evaluation goes through the frozen CSR view ([csr], shared read-only
+   across repetitions and domains). *)
+let run_once_frozen rng g csr =
   let n = Ugraph.n g in
   if n < 2 then invalid_arg "Karger.run_once: need >= 2 vertices";
   let edges = Array.of_list (Ugraph.edges g) in
@@ -66,7 +72,9 @@ let run_once rng g =
     invalid_arg "Karger.run_once: graph disconnected (ran out of edges)";
   let rep = Uf.find uf 0 in
   let cut = Cut.of_mem ~n (fun v -> Uf.find uf v = rep) in
-  (Ugraph.cut_value g cut, cut)
+  (Csr.cut_value csr cut, cut)
+
+let run_once rng g = run_once_frozen rng g (Csr.of_ugraph g)
 
 (* Contraction runs are independent, so they fan out over domains: run [t]
    draws from the pure child stream [split master t] (the graph is only
@@ -74,8 +82,9 @@ let run_once rng g =
    strictly-smaller value wins, exactly as the sequential loop did. *)
 let parallel_runs ?domains rng ~trials g =
   let master = Prng.fork rng in
+  let csr = Csr.of_ugraph g in
   Dcs_util.Pool.parallel_init ?domains ~n:trials (fun t ->
-      run_once (Prng.split master t) g)
+      run_once_frozen (Prng.split master t) g csr)
 
 let mincut ?domains rng ~trials g =
   if trials < 1 then invalid_arg "Karger.mincut: trials >= 1";

@@ -1,4 +1,5 @@
 module Ugraph = Dcs_graph.Ugraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 module Prng = Dcs_util.Prng
 
@@ -13,15 +14,18 @@ type quotient = {
   total : float array;  (* incident weight per super-vertex *)
 }
 
-let quotient_of_graph g =
-  let n = Ugraph.n g in
+(* Dense init off the frozen arc arrays: each undirected edge is stored as
+   two opposite arcs, so one pass over the out-rows fills both matrix
+   triangles and the incident weights. *)
+let quotient_of_csr csr =
+  let n = Csr.n csr in
   let w = Array.make_matrix n n 0.0 in
   let total = Array.make n 0.0 in
-  Ugraph.iter_edges g (fun u v x ->
-      w.(u).(v) <- w.(u).(v) +. x;
-      w.(v).(u) <- w.(v).(u) +. x;
-      total.(u) <- total.(u) +. x;
-      total.(v) <- total.(v) +. x);
+  for u = 0 to n - 1 do
+    Csr.iter_out csr u (fun v x ->
+        w.(u).(v) <- w.(u).(v) +. x;
+        total.(u) <- total.(u) +. x)
+  done;
   { r = n; w; groups = Array.init n (fun v -> [ v ]); total }
 
 let copy q =
@@ -147,10 +151,10 @@ let rec recurse rng q =
     (v, side)
   end
 
-let run_once rng g =
+let run_once_frozen rng g csr =
   let n = Ugraph.n g in
   if n < 2 then invalid_arg "Karger_stein.run_once: need >= 2 vertices";
-  let q = quotient_of_graph g in
+  let q = quotient_of_csr csr in
   let _, side = recurse rng q in
   let cut =
     Cut.of_mem ~n (fun v ->
@@ -162,7 +166,9 @@ let run_once rng g =
         find 0)
   in
   let cut = if Cut.is_proper cut then cut else Cut.singleton ~n 0 in
-  (Ugraph.cut_value g cut, cut)
+  (Csr.cut_value csr cut, cut)
+
+let run_once rng g = run_once_frozen rng g (Csr.of_ugraph g)
 
 let mincut ?domains ?runs rng g =
   let n = Ugraph.n g in
@@ -177,9 +183,10 @@ let mincut ?domains ?runs rng g =
      pure function of (master, t) and the min is taken in run order, so the
      answer is bit-identical for every domain count. *)
   let master = Prng.fork rng in
+  let csr = Csr.of_ugraph g in
   let results =
     Dcs_util.Pool.parallel_init ?domains ~n:runs (fun t ->
-        run_once (Prng.split master t) g)
+        run_once_frozen (Prng.split master t) g csr)
   in
   let best = ref results.(0) in
   for t = 1 to runs - 1 do

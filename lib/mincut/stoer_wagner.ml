@@ -1,4 +1,5 @@
 module Ugraph = Dcs_graph.Ugraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 
 (* Classic minimum-cut-phase formulation: repeatedly run a maximum-adjacency
@@ -11,9 +12,12 @@ let mincut g =
   let n = Ugraph.n g in
   if n < 2 then invalid_arg "Stoer_wagner.mincut: need at least 2 vertices";
   let w = Array.make_matrix n n 0.0 in
-  Ugraph.iter_edges g (fun u v x ->
-      w.(u).(v) <- w.(u).(v) +. x;
-      w.(v).(u) <- w.(v).(u) +. x);
+  (* Dense init off the frozen arc arrays; each undirected edge appears as
+     two opposite arcs, filling both triangles in one pass. *)
+  let csr = Csr.of_ugraph g in
+  for u = 0 to n - 1 do
+    Csr.iter_out csr u (fun v x -> w.(u).(v) <- w.(u).(v) +. x)
+  done;
   let group = Array.init n (fun v -> [ v ]) in
   let active = Array.make n true in
   let best_value = ref infinity in

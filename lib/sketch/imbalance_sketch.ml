@@ -1,5 +1,6 @@
 module Digraph = Dcs_graph.Digraph
 module Ugraph = Dcs_graph.Ugraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 
 let imbalances g =
@@ -27,9 +28,11 @@ let create ?c rng ~eps ~beta g =
     if eps_u < 1.0 then Foreach_sampler.sparsify ?c rng ~eps:eps_u proj else proj
   in
   let size_bits = (64 * n) + Sketch.ugraph_encoding_bits sampled in
+  (* Freeze the sampled projection once; queries scan the flat arrays. *)
+  let scsr = Csr.of_ugraph sampled in
   {
     Sketch.name = Printf.sprintf "imbalance-foreach(eps=%g,beta=%g)" eps beta;
     size_bits;
-    query = (fun s -> (Ugraph.cut_value sampled s +. delta imb s) /. 2.0);
+    query = (fun s -> (Csr.cut_value scsr s +. delta imb s) /. 2.0);
     graph = None;
   }

@@ -1,4 +1,5 @@
 module Digraph = Dcs_graph.Digraph
+module Csr = Dcs_graph.Csr
 module Cut = Dcs_graph.Cut
 module Bits = Dcs_util.Bits
 module Metrics = Dcs_obs_core.Metrics
@@ -45,7 +46,11 @@ let ugraph_frame_bits g = ugraph_encoding_bits g + checksum_bits
 let of_digraph ~name ~size_bits g =
   Metrics.inc m_built;
   Metrics.inc ~by:size_bits m_size_bits;
-  { name; size_bits; query = (fun s -> Cut.value g s); graph = Some g }
+  (* Freeze once at construction; every query is then a flat-array scan
+     instead of a hashtable walk. [graph] still exposes the mutable source
+     for decoders that want per-edge access. *)
+  let csr = Csr.of_digraph g in
+  { name; size_bits; query = (fun s -> Csr.cut_value csr s); graph = Some g }
 
 let median xs =
   let a = Array.of_list xs in

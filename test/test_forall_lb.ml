@@ -191,6 +191,48 @@ let test_decode_enumerate_guard () =
         (F.decode_enumerate p ~query:sk.Sketch.query inst.F.target
            ~t:inst.F.gh.Gap_hamming.t))
 
+let test_decode_enumerate_csr_matches_query_path () =
+  (* The incremental CSR walk and the per-subset query path visit subsets in
+     the same order with the same tie-break; on the dyadic encoder weights
+     both float summation orders are exact, so decisions agree bit for bit. *)
+  let p = small_params () in
+  for seed = 20 to 29 do
+    let inst = random_inst seed p in
+    let g = inst.F.graph in
+    let t = inst.F.gh.Gap_hamming.t in
+    let query s = Cut.value g s in
+    let via_query = F.decode_enumerate p ~query inst.F.target ~t in
+    let via_csr = F.decode_enumerate ~graph:g p ~query inst.F.target ~t in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d decisions agree" seed)
+      true (via_query = via_csr)
+  done
+
+let test_decode_enumerate_accepts_k24 () =
+  (* k = 24 sat behind the old k > 20 guard; the CSR path walks its
+     C(24,12) subsets incrementally. *)
+  let p = F.make_params ~beta:2 ~inv_eps_sq:12 48 in
+  Alcotest.(check int) "block" 24 (F.block_size p);
+  let inst = random_inst 30 p in
+  let d =
+    F.decode_enumerate ~graph:inst.F.graph p
+      ~query:(fun s -> Cut.value inst.F.graph s)
+      inst.F.target ~t:inst.F.gh.Gap_hamming.t
+  in
+  Alcotest.(check bool) "exact sketch decodes correctly" true
+    (d = F.correct_decision inst)
+
+let test_decode_enumerate_csr_guard () =
+  (* Even the CSR path has a ceiling. k = 32 > 26. *)
+  let p = F.make_params ~beta:4 ~inv_eps_sq:8 64 in
+  let inst = random_inst 31 p in
+  Alcotest.check_raises "k too large for csr"
+    (Invalid_argument "Forall_lb.decode_enumerate: k too large (> 26)") (fun () ->
+      ignore
+        (F.decode_enumerate ~graph:inst.F.graph p
+           ~query:(fun s -> Cut.value inst.F.graph s)
+           inst.F.target ~t:inst.F.gh.Gap_hamming.t))
+
 let test_topk_q_half_size () =
   let p = small_params () in
   let inst = random_inst 14 p in
@@ -302,6 +344,9 @@ let suite =
     Alcotest.test_case "decode: single query (exact)" `Quick test_decode_single_query_exact;
     Alcotest.test_case "single vs enumerate separation" `Quick test_single_query_collapses_before_enumerate;
     Alcotest.test_case "decode: enumerate guard" `Quick test_decode_enumerate_guard;
+    Alcotest.test_case "decode: csr = query path" `Quick test_decode_enumerate_csr_matches_query_path;
+    Alcotest.test_case "decode: accepts k = 24" `Quick test_decode_enumerate_accepts_k24;
+    Alcotest.test_case "decode: csr guard" `Quick test_decode_enumerate_csr_guard;
     Alcotest.test_case "topk: |Q| = k/2" `Quick test_topk_q_half_size;
     Alcotest.test_case "lemma 4.3 statistics" `Quick test_lemma43_stats_reasonable;
     Alcotest.test_case "codec: bits" `Quick test_codec_bits;

@@ -123,6 +123,146 @@ let test_neighbor_array_sorted () =
   let g = Ugraph.of_edges 5 [ (2, 4, 1.0); (2, 0, 1.0); (2, 3, 1.0) ] in
   Alcotest.(check (array int)) "sorted" [| 0; 3; 4 |] (Ugraph.neighbor_array g 2)
 
+(* --- Csr (frozen graphs) --- *)
+
+(* Random digraph with small integer weights: float sums are exact in any
+   order, so CSR and hashtable traversals must agree bit for bit. *)
+let random_int_digraph rng ~n ~p ~max_weight =
+  let g = Digraph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Prng.float rng 1.0 < p then
+        Digraph.add_edge g u v (float_of_int (1 + Prng.int rng max_weight))
+    done
+  done;
+  g
+
+let test_csr_basic () =
+  let g = Digraph.of_edges 4 [ (0, 1, 2.0); (0, 3, 1.0); (2, 0, 4.0) ] in
+  let c = Csr.of_digraph g in
+  Alcotest.(check int) "n" 4 (Csr.n c);
+  Alcotest.(check int) "m" 3 (Csr.m c);
+  check_float "weight" 2.0 (Csr.weight c 0 1);
+  check_float "absent" 0.0 (Csr.weight c 1 0);
+  Alcotest.(check bool) "mem" true (Csr.mem_edge c 2 0);
+  Alcotest.(check int) "out deg" 2 (Csr.out_degree c 0);
+  Alcotest.(check int) "in deg" 1 (Csr.in_degree c 0);
+  check_float "total" 7.0 (Csr.total_weight c)
+
+let test_csr_iter_sorted () =
+  let g = Digraph.of_edges 5 [ (2, 4, 1.0); (2, 0, 1.0); (2, 3, 1.0) ] in
+  let c = Csr.of_digraph g in
+  let seen = ref [] in
+  Csr.iter_out c 2 (fun v _ -> seen := v :: !seen);
+  Alcotest.(check (list int)) "ascending" [ 0; 3; 4 ] (List.rev !seen)
+
+let test_csr_reverse () =
+  let g = Digraph.of_edges 3 [ (0, 1, 3.0); (1, 0, 1.0); (2, 1, 5.0) ] in
+  let c = Csr.of_digraph g in
+  let r = Csr.reverse c in
+  check_float "reversed edge" 3.0 (Csr.weight r 1 0);
+  check_float "double reverse" (Csr.weight c 2 1) (Csr.weight (Csr.reverse r) 2 1);
+  let mem v = v = 1 in
+  check_float "reverse swaps cut directions"
+    (Csr.cut_weight_into c mem) (Csr.cut_weight r mem)
+
+let test_csr_cut_delta_hand () =
+  (* 0 -> 1 (3), 1 -> 0 (1), 0 -> 2 (5), 2 -> 1 (7); S = {0}: cut = 8. *)
+  let g = Digraph.of_edges 3 [ (0, 1, 3.0); (1, 0, 1.0); (0, 2, 5.0); (2, 1, 7.0) ] in
+  let c = Csr.of_digraph g in
+  let side = [| true; false; false |] in
+  let cut = Csr.cut_weight c (fun v -> side.(v)) in
+  check_float "seed cut" 8.0 cut;
+  (* Flip 1 into S: new cut {0,1} -> out = 5 (0->2) + 0 + 7? no: edges
+     leaving {0,1}: 0->2 (5). Entering: 2->1 (7). Forward cut = 5. *)
+  let d = Csr.cut_delta c side 1 in
+  side.(1) <- true;
+  check_float "after flip in" 5.0 (cut +. d);
+  let d2 = Csr.cut_delta c side 1 in
+  side.(1) <- false;
+  check_float "flip back restores" 8.0 (cut +. d +. d2)
+
+let test_csr_validation () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0) ] in
+  let c = Csr.of_digraph g in
+  Alcotest.check_raises "cut_value wrong n"
+    (Invalid_argument "Csr.cut_value: size mismatch")
+    (fun () -> ignore (Csr.cut_value c (Cut.of_indices ~n:4 [ 0 ])));
+  Alcotest.check_raises "cut_delta bad vertex"
+    (Invalid_argument "Csr.cut_delta")
+    (fun () -> ignore (Csr.cut_delta c (Array.make 3 false) 3))
+
+let prop_csr_matches_digraph =
+  QCheck.Test.make ~name:"CSR view agrees with hashtable digraph" ~count:50
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 12 in
+      let g = random_int_digraph rng ~n ~p:0.35 ~max_weight:8 in
+      let c = Csr.of_digraph g in
+      let mem =
+        let s = Cut.random rng ~n in
+        fun v -> Cut.mem s v
+      in
+      let u = Prng.int rng n and v = Prng.int rng n in
+      Csr.n c = Digraph.n g
+      && Csr.m c = Digraph.m g
+      && Csr.total_weight c = Digraph.total_weight g
+      && Csr.cut_weight c mem = Digraph.cut_weight g mem
+      && Csr.cut_weight_into c mem = Digraph.cut_weight_into g mem
+      && Csr.weight c u v = Digraph.weight g u v
+      && Csr.out_degree c u = Digraph.out_degree g u
+      && Csr.in_degree c u = Digraph.in_degree g u)
+
+let prop_csr_reverse_matches_digraph_reverse =
+  QCheck.Test.make ~name:"CSR reverse = digraph reverse" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 10 in
+      let g = random_int_digraph rng ~n ~p:0.35 ~max_weight:8 in
+      let cr = Csr.reverse (Csr.of_digraph g) in
+      let gr = Digraph.reverse g in
+      let mem =
+        let s = Cut.random rng ~n in
+        fun v -> Cut.mem s v
+      in
+      Csr.cut_weight cr mem = Digraph.cut_weight gr mem
+      && Csr.total_weight cr = Digraph.total_weight gr)
+
+let prop_csr_of_ugraph_cut_value =
+  QCheck.Test.make ~name:"CSR of ugraph: cut values match" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 4 + Prng.int rng 12 in
+      let g0 = Generators.erdos_renyi_connected rng ~n ~p:0.3 in
+      let g = Generators.random_multigraph_weights rng g0 ~max_weight:9 in
+      let c = Csr.of_ugraph g in
+      let s = Cut.random rng ~n in
+      Csr.cut_value c s = Ugraph.cut_value g s)
+
+(* Incremental maintenance: after any flip sequence, seed + Σ deltas equals
+   a from-scratch evaluation, bit for bit (integer weights). *)
+let prop_csr_cut_delta_flip_sequence =
+  QCheck.Test.make ~name:"CSR cut_delta tracks flips exactly" ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 3 + Prng.int rng 10 in
+      let g = random_int_digraph rng ~n ~p:0.4 ~max_weight:8 in
+      let c = Csr.of_digraph g in
+      let side = Array.init n (fun _ -> Prng.bool rng) in
+      let cur = ref (Csr.cut_weight c (fun v -> side.(v))) in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let x = Prng.int rng n in
+        cur := !cur +. Csr.cut_delta c side x;
+        side.(x) <- not side.(x);
+        if !cur <> Csr.cut_weight c (fun v -> side.(v)) then ok := false
+      done;
+      !ok)
+
 (* --- Cut --- *)
 
 let test_cut_construction () =
@@ -524,6 +664,11 @@ let suite =
     Alcotest.test_case "ugraph: digraph roundtrip" `Quick test_ugraph_digraph_roundtrip;
     Alcotest.test_case "ugraph: cut matches symmetric digraph" `Quick test_ugraph_cut_matches_digraph_cut;
     Alcotest.test_case "ugraph: neighbor array sorted" `Quick test_neighbor_array_sorted;
+    Alcotest.test_case "csr: basics" `Quick test_csr_basic;
+    Alcotest.test_case "csr: rows sorted" `Quick test_csr_iter_sorted;
+    Alcotest.test_case "csr: reverse" `Quick test_csr_reverse;
+    Alcotest.test_case "csr: cut_delta hand example" `Quick test_csr_cut_delta_hand;
+    Alcotest.test_case "csr: validation" `Quick test_csr_validation;
     Alcotest.test_case "cut: construction" `Quick test_cut_construction;
     Alcotest.test_case "cut: complement/proper" `Quick test_cut_complement;
     Alcotest.test_case "cut: union" `Quick test_cut_union;
@@ -570,4 +715,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_symmetric_digraph_is_1_balanced;
     QCheck_alcotest.to_alcotest prop_cut_bounded_by_total_weight;
     QCheck_alcotest.to_alcotest prop_balance_of_complement_inverts;
+    QCheck_alcotest.to_alcotest prop_csr_matches_digraph;
+    QCheck_alcotest.to_alcotest prop_csr_reverse_matches_digraph_reverse;
+    QCheck_alcotest.to_alcotest prop_csr_of_ugraph_cut_value;
+    QCheck_alcotest.to_alcotest prop_csr_cut_delta_flip_sequence;
   ]
