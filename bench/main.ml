@@ -48,6 +48,7 @@ let experiments =
     ("E17", "Chaos harness: supervision + checkpoint recovery", false, Exp_chaos.run);
     ("E18", "Profiling: instrumented 1.1/1.3 pipelines", false, Exp_profile.run);
     ("E19", "Representation: frozen CSR vs hashtable adjacency", false, Exp_repr.run);
+    ("E20", "Batched kernels + chunked pool: multicore throughput", false, Exp_batched.run);
   ]
 
 let json_path : string option ref = ref None

@@ -1,16 +1,27 @@
 #!/bin/sh
 # Determinism gate for the parallel trial engine: the whole test suite must
-# pass, and the experiment tables must be byte-identical, with DCS_DOMAINS=1
-# (sequential fallback) and DCS_DOMAINS=4 (parallel fan-out). Any divergence
-# means per-trial seed-splitting leaked scheduling into a result.
+# pass, and the experiment tables must be byte-identical at DCS_DOMAINS=1
+# (sequential fallback), 2 and 4 (parallel fan-out). Any divergence means
+# per-trial seed-splitting leaked scheduling into a result.
 #
-# Usage: bin/check_determinism.sh [experiment ids...]   (default: E3 E4 E16 E17 E19)
+# Usage: bin/check_determinism.sh [experiment ids...]
+#                                 (default: E3 E4 E16 E17 E19 E20)
+#
+# Experiments are diffed ONE AT A TIME so the first divergence fails fast
+# and names the experiment (a combined run could only say "something in the
+# battery differs" after paying for all of it).
 #
 # E19 is in the default set because it drives both graph representations —
 # the hashtable adjacency and the frozen CSR arrays — through the same
 # decodes and cut evaluations: its agreement flags and csr.* counter checks
 # must come out identical at every domain count (wall-clock figures go to
 # stderr and never enter the diff).
+#
+# E20 is in the default set because it drives the chunked pool and the
+# batched CSR kernels (cut_many / flip_sweep) through the decode battery, a
+# k = 28 enumerate and a Karger sweep at explicit domain counts 1/2/4
+# *inside* the experiment; the gate re-runs it under each DCS_DOMAINS value
+# to prove the ambient domain count leaks into nothing.
 #
 # E16 is in the default set because it exercises the fault-injection layer:
 # its drop/corruption/timeout/lie draws must come out of the split streams
@@ -33,10 +44,11 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4 E16 E17 E19}"
+experiments="${*:-E3 E4 E16 E17 E19 E20}"
+domain_counts="1 2 4"
 
-echo "== building =="
-dune build bench/main.exe test/main.exe
+echo "== building (bench, tests, @batched kernel suite) =="
+dune build bench/main.exe test/main.exe @batched
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -44,20 +56,24 @@ trap 'rm -rf "$tmpdir"' EXIT
 # Strip the wall-clock footers ("[E3 done in 1.2s]" and the total): timing
 # is the one thing allowed to differ between runs.
 run_bench () {
-    # shellcheck disable=SC2086
-    DCS_DOMAINS="$1" dune exec --no-build bench/main.exe -- --only $experiments \
+    DCS_DOMAINS="$1" dune exec --no-build bench/main.exe -- --only "$2" \
         | grep -v ' done in '
 }
 
-echo "== experiments ($experiments) with DCS_DOMAINS=1 =="
-run_bench 1 > "$tmpdir/domains1.out"
-echo "== experiments ($experiments) with DCS_DOMAINS=4 =="
-run_bench 4 > "$tmpdir/domains4.out"
-
-if ! diff -u "$tmpdir/domains1.out" "$tmpdir/domains4.out"; then
-    echo "FAIL: experiment output diverges between DCS_DOMAINS=1 and 4" >&2
-    exit 1
-fi
+echo "== experiment-by-experiment diff at DCS_DOMAINS=$domain_counts =="
+for exp in $experiments; do
+    ref="$tmpdir/${exp}_d1.out"
+    run_bench 1 "$exp" > "$ref"
+    for d in 2 4; do
+        out="$tmpdir/${exp}_d$d.out"
+        run_bench "$d" "$exp" > "$out"
+        if ! diff -u "$ref" "$out"; then
+            echo "FAIL: $exp output diverges between DCS_DOMAINS=1 and $d" >&2
+            exit 1
+        fi
+    done
+    echo "  $exp: byte-identical at DCS_DOMAINS=$domain_counts"
+done
 echo "experiment tables byte-identical across domain counts"
 
 echo "== kill-then-resume cycle (E16, --abort-after 30) =="
@@ -102,9 +118,14 @@ for d in 2 4; do
 done
 echo "E18 metrics snapshots byte-identical at DCS_DOMAINS=1, 2 and 4"
 
+echo "== batched kernel suite (@batched) with DCS_DOMAINS=1 and 4 =="
+DCS_DOMAINS=1 dune exec --no-build test/batched/main_batched.exe > /dev/null
+DCS_DOMAINS=4 dune exec --no-build test/batched/main_batched.exe > /dev/null
+echo "batched kernel suite green at DCS_DOMAINS=1 and 4"
+
 echo "== test suite with DCS_DOMAINS=1 =="
 DCS_DOMAINS=1 dune exec --no-build test/main.exe
 echo "== test suite with DCS_DOMAINS=4 =="
 DCS_DOMAINS=4 dune exec --no-build test/main.exe
 
-echo "OK: suite green, tables identical, kill/resume identical, metrics snapshots identical under DCS_DOMAINS=1 and 4"
+echo "OK: suites green, tables identical per experiment, kill/resume identical, metrics snapshots identical under DCS_DOMAINS=1, 2 and 4"

@@ -17,6 +17,15 @@ let m_builds = Metrics.counter "csr.builds"
 let m_cut_full = Metrics.counter "csr.cut_full"
 let m_cut_delta = Metrics.counter "csr.cut_delta"
 
+(* Kernel invocations (not per-cut/per-flip work — that stays in cut_full /
+   cut_delta so routing a caller through a batched kernel leaves its logical
+   counters unchanged). Call sites must use fixed batch sizes, never
+   domain-count-derived ones, to keep these deterministic. *)
+let m_cut_many = Metrics.counter "csr.cut_many_calls"
+let m_flip_sweep = Metrics.counter "csr.flip_sweep_calls"
+
+type f64_1 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   n : int;
   arcs : int;
@@ -26,6 +35,11 @@ type t = {
   in_off : int array;   (* the same arcs, grouped by head *)
   in_src : int array;
   in_w : float array;
+  (* Optional Bigarray mirrors of the two weight arrays (same doubles, same
+     order), attached by [with_bigarray_weights] before any fan-out so no
+     domain ever races on them. The batched kernels read weights from the
+     mirror when present; values are bit-identical either way. *)
+  big : (f64_1 * f64_1) option;
 }
 
 let n t = t.n
@@ -83,7 +97,7 @@ let of_digraph g =
       in_w.(j) <- w);
   sort_rows nv out_off out_dst out_w;
   sort_rows nv in_off in_src in_w;
-  { n = nv; arcs; out_off; out_dst; out_w; in_off; in_src; in_w }
+  { n = nv; arcs; out_off; out_dst; out_w; in_off; in_src; in_w; big = None }
 
 let of_ugraph g =
   Metrics.inc m_builds;
@@ -108,7 +122,7 @@ let of_ugraph g =
   sort_rows nv off dst w;
   (* Symmetric: the in-direction is the same physical arrays. *)
   { n = nv; arcs; out_off = off; out_dst = dst; out_w = w;
-    in_off = off; in_src = dst; in_w = w }
+    in_off = off; in_src = dst; in_w = w; big = None }
 
 let reverse t =
   {
@@ -119,7 +133,21 @@ let reverse t =
     in_off = t.out_off;
     in_src = t.out_dst;
     in_w = t.out_w;
+    big = Option.map (fun (o, i) -> (i, o)) t.big;
   }
+
+let with_bigarray_weights t =
+  match t.big with
+  | Some _ -> t
+  | None ->
+      let mirror (w : float array) : f64_1 =
+        let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout t.arcs in
+        Array.iteri (fun i x -> Bigarray.Array1.unsafe_set b i x) w;
+        b
+      in
+      { t with big = Some (mirror t.out_w, mirror t.in_w) }
+
+let has_bigarray_weights t = t.big <> None
 
 let out_degree t u =
   check_vertex t u "out_degree";
@@ -211,3 +239,120 @@ let cut_delta t side x =
       d := !d -. Array.unsafe_get t.in_w i
   done;
   if side.(x) then -. !d else !d
+
+(* --- batched kernels ---
+
+   Both kernels perform exactly the float operations of their per-call
+   counterparts, in the same order: [cut_many] adds each cut's crossing
+   weights in (source asc, row asc) order like [cut_weight], and
+   [flip_sweep] accumulates per-flip deltas computed with [cut_delta]'s
+   formula. Results are therefore byte-identical to the unbatched paths —
+   the batching only removes per-call dispatch, closure and metering
+   overhead from the inner loops. *)
+
+let cut_many ?into t sides =
+  let mcuts = Array.length sides in
+  Array.iter
+    (fun s ->
+      if Array.length s <> t.n then
+        invalid_arg "Csr.cut_many: side length mismatch")
+    sides;
+  let out =
+    match into with
+    | Some a when Array.length a >= mcuts -> a
+    | Some _ -> invalid_arg "Csr.cut_many: into too short"
+    | None -> Array.make mcuts 0.0
+  in
+  Metrics.inc ~by:mcuts m_cut_full;
+  Metrics.inc m_cut_many;
+  for m = 0 to mcuts - 1 do
+    Array.unsafe_set out m 0.0
+  done;
+  if mcuts > 0 then begin
+    let off = t.out_off and dst = t.out_dst in
+    (match t.big with
+    | Some (bw, _) ->
+        for u = 0 to t.n - 1 do
+          for i = off.(u) to off.(u + 1) - 1 do
+            let v = Array.unsafe_get dst i in
+            let w = Bigarray.Array1.unsafe_get bw i in
+            for m = 0 to mcuts - 1 do
+              let s = Array.unsafe_get sides m in
+              if Array.unsafe_get s u && not (Array.unsafe_get s v) then
+                Array.unsafe_set out m (Array.unsafe_get out m +. w)
+            done
+          done
+        done
+    | None ->
+        let w = t.out_w in
+        for u = 0 to t.n - 1 do
+          for i = off.(u) to off.(u + 1) - 1 do
+            let v = Array.unsafe_get dst i in
+            let x = Array.unsafe_get w i in
+            for m = 0 to mcuts - 1 do
+              let s = Array.unsafe_get sides m in
+              if Array.unsafe_get s u && not (Array.unsafe_get s v) then
+                Array.unsafe_set out m (Array.unsafe_get out m +. x)
+            done
+          done
+        done)
+  end;
+  out
+
+let flip_sweep ?(off = 0) ?len t ~side ~init ~flips ~vals =
+  let len = match len with Some l -> l | None -> Array.length flips - off in
+  if off < 0 || len < 0 || off + len > Array.length flips then
+    invalid_arg "Csr.flip_sweep: bad off/len";
+  if Array.length vals < len then invalid_arg "Csr.flip_sweep: vals too short";
+  if Array.length side <> t.n then
+    invalid_arg "Csr.flip_sweep: side length mismatch";
+  for j = off to off + len - 1 do
+    let x = flips.(j) in
+    if x < 0 || x >= t.n then invalid_arg "Csr.flip_sweep: vertex out of range"
+  done;
+  Metrics.inc ~by:len m_cut_delta;
+  Metrics.inc m_flip_sweep;
+  let out_off = t.out_off and out_dst = t.out_dst in
+  let in_off = t.in_off and in_src = t.in_src in
+  let cur = ref init in
+  (match t.big with
+  | Some (bow, biw) ->
+      for j = 0 to len - 1 do
+        let x = Array.unsafe_get flips (off + j) in
+        let d = ref 0.0 in
+        for i = Array.unsafe_get out_off x to Array.unsafe_get out_off (x + 1) - 1
+        do
+          if not (Array.unsafe_get side (Array.unsafe_get out_dst i)) then
+            d := !d +. Bigarray.Array1.unsafe_get bow i
+        done;
+        for i = Array.unsafe_get in_off x to Array.unsafe_get in_off (x + 1) - 1
+        do
+          if Array.unsafe_get side (Array.unsafe_get in_src i) then
+            d := !d -. Bigarray.Array1.unsafe_get biw i
+        done;
+        let delta = if Array.unsafe_get side x then -. !d else !d in
+        cur := !cur +. delta;
+        Array.unsafe_set side x (not (Array.unsafe_get side x));
+        Array.unsafe_set vals j !cur
+      done
+  | None ->
+      let out_w = t.out_w and in_w = t.in_w in
+      for j = 0 to len - 1 do
+        let x = Array.unsafe_get flips (off + j) in
+        let d = ref 0.0 in
+        for i = Array.unsafe_get out_off x to Array.unsafe_get out_off (x + 1) - 1
+        do
+          if not (Array.unsafe_get side (Array.unsafe_get out_dst i)) then
+            d := !d +. Array.unsafe_get out_w i
+        done;
+        for i = Array.unsafe_get in_off x to Array.unsafe_get in_off (x + 1) - 1
+        do
+          if Array.unsafe_get side (Array.unsafe_get in_src i) then
+            d := !d -. Array.unsafe_get in_w i
+        done;
+        let delta = if Array.unsafe_get side x then -. !d else !d in
+        cur := !cur +. delta;
+        Array.unsafe_set side x (not (Array.unsafe_get side x));
+        Array.unsafe_set vals j !cur
+      done);
+  !cur

@@ -68,3 +68,54 @@ val cut_delta : t -> bool array -> int -> float
     With weights whose sums are exact in floating point (integers, dyadic
     rationals), a chain of deltas reproduces the from-scratch value bit for
     bit. *)
+
+(** {2 Batched kernels}
+
+    Dense sweeps over the flat arrays that evaluate many cuts (or many
+    single-vertex flips) per call. They perform exactly the float
+    operations of {!cut_weight} / {!cut_delta}, in the same order, so
+    their results are byte-identical to the per-call paths — batching only
+    strips per-call dispatch, closures and metering from the inner loops.
+    These are the kernels the batched trial pool
+    ({!Dcs_util.Pool.run_batched}) feeds with per-domain scratch arrays. *)
+
+val cut_many : ?into:float array -> t -> bool array array -> float array
+(** [cut_many t sides] evaluates [Array.length sides] cuts in one sweep
+    over the out-arc arrays: slot [m] of the result is
+    [cut_weight t (fun v -> sides.(m).(v))]. Every side must have length
+    [n t]; duplicate sides are fine (each slot is accumulated
+    independently). [?into] reuses a caller-owned output array (length at
+    least the batch size; only the first batch-size slots are written) so a
+    sweep in a hot loop allocates nothing. Counts one [csr.cut_full] per
+    cut and one [csr.cut_many_calls] per call. *)
+
+val flip_sweep :
+  ?off:int ->
+  ?len:int ->
+  t ->
+  side:bool array ->
+  init:float ->
+  flips:int array ->
+  vals:float array ->
+  float
+(** [flip_sweep t ~side ~init ~flips ~vals] applies the single-vertex flips
+    [flips.(off) .. flips.(off+len-1)] (default: the whole array) to
+    [side] in order, maintaining a running cut value seeded with [init]
+    (the caller's [cut_weight] of the starting side): after each flip the
+    running value is stored in the corresponding slot of [vals]
+    (0-indexed from the start of this call), and the final value is
+    returned. Equivalent to — and bit-identical with — a loop of
+    {!cut_delta} + manual flip + accumulate; [side] is mutated in place.
+    A vertex may appear many times (each occurrence toggles it again).
+    Counts [len] [csr.cut_delta]s and one [csr.flip_sweep_calls]. *)
+
+val with_bigarray_weights : t -> t
+(** A view of the same graph whose batched kernels read arc weights from
+    [Bigarray.Array1] (float64, C layout) mirrors instead of the boxed
+    float arrays — same doubles in the same order, so every result is
+    bit-identical; the mirrors are plain flat unboxed buffers that the
+    runtime never scans or moves. Build it once before a fan-out and share
+    the result: the mirror is attached eagerly, so the value is as
+    read-only (and domain-safe) as the original. Idempotent. *)
+
+val has_bigarray_weights : t -> bool

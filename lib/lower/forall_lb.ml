@@ -189,61 +189,131 @@ let decode_enumerate_query p lay ~query a ~t =
       end);
   if best_q.(a.i) then Delta_low else Delta_high
 
-(* Incremental decoder for graph-valued sketches: freeze the sketch graph
-   into a CSR once, evaluate the first query cut from scratch, then walk
-   the subsets with [cut_delta] — O(degree) per flip instead of O(n + m)
-   per subset. Every subset has size exactly k/2, so the fixed backward
-   weight is a constant and the argmax (with the same strict-> tie-break,
-   in the same visiting order) matches [decode_enumerate_query] exactly
-   whenever cut sums are exact in floating point — in particular on the
-   encoder's weights {1, 2, 1/β} for β a power of two. *)
-let decode_enumerate_csr p lay csr a ~t =
+(* Guard for the incremental (graph-backed) enumeration: C(28,14) ≈ 40M
+   subsets at O(degree) per step. Subsets are also carried as int
+   bitmasks over left offsets, so the guard must stay < Sys.int_size. *)
+let enumerate_guard = 28
+
+(* Guard for the generic one-query-per-subset path. *)
+let enumerate_query_guard = 20
+
+(* Reusable buffers for [decode_enumerate_frozen]: the query side array
+   plus the flip/visit recording blocks that feed [Csr.flip_sweep]. One
+   scratch per worker domain (sized by the params, not the instance)
+   serves every trial that domain runs — the decoder then allocates
+   nothing proportional to the C(k, k/2) walk. *)
+type decode_scratch = {
+  scratch_n : int;
+  side : bool array;        (* query-cut membership, length n *)
+  flips : int array;        (* recorded membership toggles (vertex ids) *)
+  vals : float array;       (* running cut value after each flip *)
+  visit_at : int array;     (* #flips recorded when a subset was visited *)
+  visit_mask : int array;   (* that subset, as a bitmask over 0..k-1 *)
+}
+
+let scratch_block = 4096
+
+let decode_scratch p =
+  {
+    scratch_n = p.n;
+    side = Array.make p.n false;
+    flips = Array.make scratch_block 0;
+    vals = Array.make scratch_block 0.0;
+    visit_at = Array.make scratch_block 0;
+    visit_mask = Array.make scratch_block 0;
+  }
+
+(* Incremental decoder for graph-valued sketches, batched: evaluate the
+   first query cut from scratch, then walk the subsets recording each
+   membership toggle (and each visited subset, as a bitmask) into the
+   scratch blocks; a full block is flushed through [Csr.flip_sweep],
+   which replays the toggles with [cut_delta]'s exact float operations in
+   the same order — so the running values, and the argmax with the same
+   strict-> tie-break in the same visiting order, match the one-flip-at-
+   a-time loop (and [decode_enumerate_query]) bit for bit whenever cut
+   sums are exact in floating point — in particular on the encoder's
+   weights {1, 2, 1/β} for β a power of two. *)
+let decode_enumerate_frozen ?scratch p csr a ~t =
+  let lay = layout p in
   let block = lay.Layout.block in
   let k = block in
+  if k > enumerate_guard then
+    invalid_arg
+      (Printf.sprintf "Forall_lb.decode_enumerate: k too large (> %d)"
+         enumerate_guard);
   if Bitstring.length t <> p.inv_eps_sq then invalid_arg "Forall_lb.query_cut: t";
-  (* Membership of the query cut with U = ∅ (cf. [query_cut_lay]). *)
-  let side =
-    Array.init p.n (fun v ->
-        let chain = v / block in
-        if chain >= a.pair + 2 then true
-        else if chain = a.pair then false
-        else if chain = a.pair + 1 then begin
-          let off = v mod block in
-          let cluster = off / p.inv_eps_sq and pos = off mod p.inv_eps_sq in
-          not (cluster = a.j && t.(pos))
-        end
-        else false)
+  let s =
+    match scratch with
+    | None -> decode_scratch p
+    | Some s ->
+        if s.scratch_n <> p.n then
+          invalid_arg "Forall_lb.decode_enumerate: scratch built for other params";
+        s
   in
+  let side = s.side in
+  (* Membership of the query cut with U = ∅ (cf. [query_cut_lay]). *)
+  for v = 0 to p.n - 1 do
+    let chain = v / block in
+    side.(v) <-
+      (if chain >= a.pair + 2 then true
+       else if chain = a.pair then false
+       else if chain = a.pair + 1 then begin
+         let off = v mod block in
+         let cluster = off / p.inv_eps_sq and pos = off mod p.inv_eps_sq in
+         not (cluster = a.j && t.(pos))
+       end
+       else false)
+  done;
   let base = Layout.block_start lay a.pair in
   let cur = ref (Csr.cut_weight csr (fun v -> side.(v))) in
   let back = fixed_backward_weight_lay p lay a ~u_size:(k / 2) in
   let best = ref neg_infinity in
-  let best_q = Array.make k false in
-  iter_combinations_incremental ~n:k ~k:(k / 2)
-    ~flip:(fun o ->
-      let x = base + o in
-      cur := !cur +. Csr.cut_delta csr side x;
-      side.(x) <- not side.(x))
-    ~visit:(fun mem ->
-      let est = !cur -. back in
+  let best_mask = ref 0 in
+  let mask = ref 0 in
+  let nflips = ref 0 in
+  let nvisits = ref 0 in
+  let flush () =
+    let v0 = !cur in
+    if !nflips > 0 then
+      cur :=
+        Csr.flip_sweep ~len:!nflips csr ~side ~init:v0 ~flips:s.flips
+          ~vals:s.vals;
+    for q = 0 to !nvisits - 1 do
+      let c = s.visit_at.(q) in
+      let est = (if c = 0 then v0 else s.vals.(c - 1)) -. back in
       if est > !best then begin
         best := est;
-        Array.blit mem 0 best_q 0 k
-      end);
-  if best_q.(a.i) then Delta_low else Delta_high
+        best_mask := s.visit_mask.(q)
+      end
+    done;
+    nflips := 0;
+    nvisits := 0
+  in
+  iter_combinations_incremental ~n:k ~k:(k / 2)
+    ~flip:(fun o ->
+      if !nflips = scratch_block then flush ();
+      s.flips.(!nflips) <- base + o;
+      incr nflips;
+      mask := !mask lxor (1 lsl o))
+    ~visit:(fun _ ->
+      if !nvisits = scratch_block then flush ();
+      s.visit_at.(!nvisits) <- !nflips;
+      s.visit_mask.(!nvisits) <- !mask;
+      incr nvisits);
+  flush ();
+  if (!best_mask lsr a.i) land 1 = 1 then Delta_low else Delta_high
 
-let decode_enumerate ?graph p ~query a ~t =
+let decode_enumerate ?graph ?scratch p ~query a ~t =
   let lay = layout p in
   let k = lay.Layout.block in
   match graph with
-  | Some g ->
-      (* O(degree) per subset: C(26,13) ≈ 10M steps is still tractable. *)
-      if k > 26 then
-        invalid_arg "Forall_lb.decode_enumerate: k too large (> 26)";
-      decode_enumerate_csr p lay (Csr.of_digraph g) a ~t
+  | Some g -> decode_enumerate_frozen ?scratch p (Csr.of_digraph g) a ~t
   | None ->
       (* A generic sketch costs a full query per subset. *)
-      if k > 20 then invalid_arg "Forall_lb.decode_enumerate: k too large (> 20)";
+      if k > enumerate_query_guard then
+        invalid_arg
+          (Printf.sprintf "Forall_lb.decode_enumerate: k too large (> %d)"
+             enumerate_query_guard);
       decode_enumerate_query p lay ~query a ~t
 
 (* Per-left-vertex score on a graph-valued sketch: sampled forward weight
@@ -322,13 +392,16 @@ type trial_stats = {
   mean_sketch_bits : float;
 }
 
-let run_trials ?domains rng p ~sketch_of ~decoder ~trials =
+let run_trials ?domains ?chunk rng p ~sketch_of ~decoder ~trials =
   if trials <= 0 then invalid_arg "Forall_lb.run_trials";
   (* Same seed-splitting discipline as [Foreach_lb.run_trials]: trial [t]'s
      randomness is a pure function of (master, t), so any domain count gives
-     the same stats. *)
+     the same stats. Trials fan out through the chunked pool; each worker
+     domain reuses one [decode_scratch], which only the enumerate decoder
+     touches (and every decoder ignores at will — the decision is a pure
+     function of the trial index either way). *)
   let master = Prng.fork rng in
-  let one_trial t =
+  let one_trial scratch t =
     let rng = Prng.split master t in
     let inst = random_instance rng p in
     let sk = sketch_of rng inst in
@@ -337,8 +410,8 @@ let run_trials ?domains rng p ~sketch_of ~decoder ~trials =
       match decoder with
       | `Single -> decode_single_query p ~query:sk.Sketch.query inst.target ~t
       | `Enumerate ->
-          decode_enumerate ?graph:sk.Sketch.graph p ~query:sk.Sketch.query
-            inst.target ~t
+          decode_enumerate ?graph:sk.Sketch.graph ~scratch p
+            ~query:sk.Sketch.query inst.target ~t
       | `Topk -> (
           match sk.Sketch.graph with
           | Some g -> decode_topk p ~sketch_graph:g inst.target ~t
@@ -347,7 +420,11 @@ let run_trials ?domains rng p ~sketch_of ~decoder ~trials =
     in
     (decision = correct_decision inst, float_of_int sk.Sketch.size_bits)
   in
-  let per_trial = Dcs_util.Pool.parallel_init ?domains ~n:trials one_trial in
+  let per_trial =
+    Dcs_util.Pool.run_batched ?domains ?chunk
+      ~arena:(fun () -> decode_scratch p)
+      ~n:trials one_trial
+  in
   let correct =
     Array.fold_left (fun acc (ok, _) -> if ok then acc + 1 else acc) 0 per_trial
   in

@@ -95,22 +95,52 @@ val decode_single_query :
     only when the sketch error is far below ε; included to reproduce that
     contrast experimentally. *)
 
+type decode_scratch
+(** Reusable decoder buffers (query side array + the flip/visit blocks
+    fed to [Csr.flip_sweep]): build one per worker domain with
+    {!decode_scratch} and pass it to every decode of the same [params].
+    Contents carry no state between decodes. *)
+
+val decode_scratch : params -> decode_scratch
+
+val enumerate_guard : int
+(** 28 — largest block size k the graph-backed enumeration accepts
+    (C(28,14) ≈ 40M incremental steps; subsets are tracked as int
+    bitmasks over the k left offsets). *)
+
+val enumerate_query_guard : int
+(** 20 — largest k the generic one-query-per-subset enumeration accepts. *)
+
+val decode_enumerate_frozen :
+  ?scratch:decode_scratch ->
+  params -> Dcs_graph.Csr.t -> address ->
+  t:Dcs_comm.Bitstring.t -> decision
+(** Lemma 4.4 enumeration over a pre-frozen sketch graph: walks the
+    C(k, k/2) half-size subsets incrementally, recording membership
+    toggles and visited subsets into [scratch] blocks and flushing them
+    through the batched {!Dcs_graph.Csr.flip_sweep} kernel — the same
+    float operations in the same order as a per-flip [cut_delta] loop,
+    so decisions are byte-identical to it. Guarded to k <=
+    {!enumerate_guard}. [scratch] (default: fresh) must come from
+    {!decode_scratch} on the same [params]. *)
+
 val decode_enumerate :
   ?graph:Dcs_graph.Digraph.t ->
+  ?scratch:decode_scratch ->
   params -> query:(Dcs_graph.Cut.t -> float) -> address ->
   t:Dcs_comm.Bitstring.t -> decision
 (** Literal Lemma 4.4: enumerate all C(k, k/2) half-size subsets, keeping
     the argmax estimate.
 
     Without [graph], each subset costs one full [query]; guarded to
-    k <= 20. With [graph] — the sketch's own graph, as exposed by
-    graph-valued sketches ([query] must equal its exact cut value) — the
-    graph is frozen into a {!Dcs_graph.Csr} and the enumeration walks
-    subsets incrementally with [Csr.cut_delta] at O(degree) per step,
-    raising the guard to k <= 26 (k = 24 runs in seconds). Both paths
-    visit subsets in the same order with the same strict-> tie-break, and
-    agree bit for bit whenever cut sums are exact in floating point (the
-    encoder's weights for β a power of two). *)
+    k <= {!enumerate_query_guard}. With [graph] — the sketch's own graph,
+    as exposed by graph-valued sketches ([query] must equal its exact cut
+    value) — the graph is frozen into a {!Dcs_graph.Csr} and decoding is
+    {!decode_enumerate_frozen}, raising the guard to
+    k <= {!enumerate_guard} (k = 24 runs in seconds; k = 26 in minutes).
+    Both paths visit subsets in the same order with the same strict->
+    tie-break, and agree bit for bit whenever cut sums are exact in
+    floating point (the encoder's weights for β a power of two). *)
 
 val iter_combinations_incremental :
   n:int -> k:int -> flip:(int -> unit) -> visit:(bool array -> unit) -> unit
@@ -148,6 +178,7 @@ type trial_stats = {
 
 val run_trials :
   ?domains:int ->
+  ?chunk:int ->
   Dcs_util.Prng.t ->
   params ->
   sketch_of:(Dcs_util.Prng.t -> instance -> Dcs_sketch.Sketch.t) ->
@@ -155,6 +186,8 @@ val run_trials :
   trials:int ->
   trial_stats
 (** Fresh instance per trial; decodes the planted pair. [`Topk] requires
-    the sketches to be graph-valued. Trials run in parallel on [domains]
-    domains (default [Pool.domain_count ()]); per-trial [Prng.split]
-    streams keep the stats bit-identical for every domain count. *)
+    the sketches to be graph-valued. Trials run on the chunked pool
+    ({!Dcs_util.Pool.run_batched}) over [domains] domains (default
+    [Pool.domain_count ()]) in [chunk]-sized batches, one reusable
+    {!decode_scratch} per domain; per-trial [Prng.split] streams keep the
+    stats bit-identical for every domain and chunk count. *)

@@ -1,36 +1,70 @@
 module Cut = Dcs_graph.Cut
 module Csr = Dcs_graph.Csr
 
-let enumerate ~n value =
+(* All 2^(n-1) masks (vertex 0 pinned to S, covering every cut up to
+   complement) stream through [Csr.cut_many] in fixed-size blocks: the
+   side matrices and output slots are allocated once and refilled per
+   block, and the frozen view carries Bigarray weight mirrors so the
+   kernel's inner loop reads unboxed flat buffers. [cut_many] performs
+   exactly [cut_weight]'s float additions in the same order, so values —
+   and hence the strict-< argmin over masks in order — are byte-identical
+   to the per-cut loop this replaces. *)
+let block = 256
+
+let side_of_mask ~n mask s =
+  s.(0) <- true;
+  for v = 1 to n - 1 do
+    s.(v) <- (mask lsr (v - 1)) land 1 = 1
+  done
+
+let enumerate ~n ~directed csr =
   if n < 2 || n > 24 then invalid_arg "Brute.mincut: need 2 <= n <= 24";
+  let csr = Csr.with_bigarray_weights csr in
+  let total = 1 lsl (n - 1) in
+  let full = total - 1 in
+  (* the one improper mask: S = V *)
+  let b = min block total in
+  let sides = Array.init b (fun _ -> Array.make n false) in
+  let comp = if directed then Array.init b (fun _ -> Array.make n false) else [||] in
+  let fwd = Array.make b 0.0 in
+  let bwd = Array.make b 0.0 in
   let best = ref infinity in
-  let best_cut = ref None in
-  (* Vertex 0 pinned to S: covers every cut up to complement; the directed
-     caller evaluates both orientations explicitly. *)
-  for mask = 0 to (1 lsl (n - 1)) - 1 do
-    let mem v = v = 0 || (mask lsr (v - 1)) land 1 = 1 in
-    let c = Cut.of_mem ~n mem in
-    if Cut.is_proper c then begin
-      let v = value c in
-      if v < !best then begin
-        best := v;
-        best_cut := Some c
+  let best_mask = ref (-1) in
+  let start = ref 0 in
+  while !start < total do
+    let len = min b (total - !start) in
+    for j = 0 to len - 1 do
+      let mask = !start + j in
+      side_of_mask ~n mask sides.(j);
+      if directed then
+        for v = 0 to n - 1 do
+          comp.(j).(v) <- not sides.(j).(v)
+        done
+    done;
+    ignore (Csr.cut_many ~into:fwd csr (Array.sub sides 0 len));
+    if directed then ignore (Csr.cut_many ~into:bwd csr (Array.sub comp 0 len));
+    for j = 0 to len - 1 do
+      let mask = !start + j in
+      if mask <> full then begin
+        let v = if directed then Float.min fwd.(j) bwd.(j) else fwd.(j) in
+        if v < !best then begin
+          best := v;
+          best_mask := mask
+        end
       end
-    end
+    done;
+    start := !start + len
   done;
-  match !best_cut with
-  | Some c -> (!best, c)
-  | None -> invalid_arg "Brute.mincut: no proper cut (n < 2?)"
+  if !best_mask < 0 then invalid_arg "Brute.mincut: no proper cut (n < 2?)";
+  let mask = !best_mask in
+  (!best, Cut.of_mem ~n (fun v -> v = 0 || (mask lsr (v - 1)) land 1 = 1))
 
 (* Both entry points freeze the graph once and evaluate all 2^(n-1) cuts
-   off the flat arrays. *)
+   off the flat arrays. The directed value of a cut is w(S, V\S); taking
+   the min with the complement's value matches the undirected convention
+   used by the oracle's callers, exactly as the unbatched version did. *)
 let mincut_ugraph g =
-  let csr = Csr.of_ugraph g in
-  enumerate ~n:(Dcs_graph.Ugraph.n g) (fun c -> Csr.cut_value csr c)
+  enumerate ~n:(Dcs_graph.Ugraph.n g) ~directed:false (Csr.of_ugraph g)
 
 let mincut_digraph g =
-  let csr = Csr.of_digraph g in
-  enumerate ~n:(Dcs_graph.Digraph.n g) (fun c ->
-      let fwd = Csr.cut_value csr c in
-      let bwd = Csr.cut_value csr (Cut.complement c) in
-      Float.min fwd bwd)
+  enumerate ~n:(Dcs_graph.Digraph.n g) ~directed:true (Csr.of_digraph g)

@@ -151,16 +151,18 @@ let rec recurse rng q =
     (v, side)
   end
 
-let run_once_frozen rng g csr =
-  let n = Ugraph.n g in
+(* One run off a prebuilt base quotient. [recurse] never mutates its
+   argument (each attempt works on a [copy]), so the base doubles as a
+   per-domain arena: built once per worker domain and shared by every run
+   that domain executes, saving the O(n²) dense rebuild per run. *)
+let run_once_quotient rng ~n csr base =
   if n < 2 then invalid_arg "Karger_stein.run_once: need >= 2 vertices";
-  let q = quotient_of_csr csr in
-  let _, side = recurse rng q in
+  let _, side = recurse rng base in
   let cut =
     Cut.of_mem ~n (fun v ->
         (* find v's super-vertex *)
-        let rec find i = if i >= q.r then false
-          else if List.mem v q.groups.(i) then side.(i)
+        let rec find i = if i >= base.r then false
+          else if List.mem v base.groups.(i) then side.(i)
           else find (i + 1)
         in
         find 0)
@@ -168,9 +170,11 @@ let run_once_frozen rng g csr =
   let cut = if Cut.is_proper cut then cut else Cut.singleton ~n 0 in
   (Csr.cut_value csr cut, cut)
 
-let run_once rng g = run_once_frozen rng g (Csr.of_ugraph g)
+let run_once rng g =
+  let csr = Csr.of_ugraph g in
+  run_once_quotient rng ~n:(Ugraph.n g) csr (quotient_of_csr csr)
 
-let mincut ?domains ?runs rng g =
+let mincut ?domains ?chunk ?runs rng g =
   let n = Ugraph.n g in
   let runs =
     match runs with
@@ -179,14 +183,17 @@ let mincut ?domains ?runs rng g =
         let l = int_of_float (Float.ceil (Dcs_util.Stats.log2 (float_of_int (max 2 n)))) in
         (l * l) + 1
   in
-  (* Independent recursive runs fan out over domains; run [t]'s stream is a
-     pure function of (master, t) and the min is taken in run order, so the
-     answer is bit-identical for every domain count. *)
+  (* Independent recursive runs fan out over domains through the chunked
+     pool, each domain recursing off one shared base quotient; run [t]'s
+     stream is a pure function of (master, t) and the min is taken in run
+     order, so the answer is bit-identical for every domain count. *)
   let master = Prng.fork rng in
   let csr = Csr.of_ugraph g in
   let results =
-    Dcs_util.Pool.parallel_init ?domains ~n:runs (fun t ->
-        run_once_frozen (Prng.split master t) g csr)
+    Dcs_util.Pool.run_batched ?domains ?chunk
+      ~arena:(fun () -> quotient_of_csr csr)
+      ~n:runs
+      (fun base t -> run_once_quotient (Prng.split master t) ~n csr base)
   in
   let best = ref results.(0) in
   for t = 1 to runs - 1 do

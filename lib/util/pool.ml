@@ -7,6 +7,7 @@ module Trace = Dcs_obs_core.Trace
    the trace ("pool.chunk" spans), which is wall-clock and excluded from
    determinism diffs. *)
 let m_parallel_calls = Metrics.counter "pool.parallel_calls"
+let m_batched_calls = Metrics.counter "pool.batched_calls"
 let m_tasks = Metrics.counter "pool.tasks"
 let m_supervised_tasks = Metrics.counter "pool.supervised_tasks"
 let m_rounds = Metrics.counter "pool.supervised_rounds"
@@ -99,6 +100,105 @@ let parallel_init ?domains ~n f =
 
 let parallel_map ?domains f xs =
   parallel_init ?domains ~n:(Array.length xs) (fun i -> f xs.(i))
+
+(* --- chunked batches with per-domain arenas --- *)
+
+let resolve_domains ~who ~domains ~n =
+  let d = match domains with Some d -> d | None -> domain_count () in
+  if d < 1 then invalid_arg (who ^ ": domains must be positive");
+  min d (max 1 n)
+
+let resolve_chunk ~who ~chunk ~n ~d =
+  match chunk with
+  | Some c ->
+      if c < 1 then invalid_arg (who ^ ": chunk must be positive");
+      c
+  | None -> max 1 ((n + d - 1) / d)
+
+(* The chunked executor shared by [run_batched] and the supervised rounds:
+   tasks 0..n-1 are cut into fixed-size chunks that worker domains pull
+   from an atomic cursor (dynamic assignment — a slow chunk does not
+   straggle the whole batch the way a static split would), each worker
+   builds its [arena] once and reuses it for every task it runs, and
+   [run a i] must store its own result by slot. Workers run every chunk to
+   completion even when [run] raises — failures are deferred so the caller
+   observes the same "all other tasks have run" contract as
+   [parallel_init] — and return their failures for the caller to merge.
+   Chunk *contents* are fixed by [chunk] alone; only which domain runs a
+   chunk varies, which is invisible as long as [run] is slot-addressed. *)
+let run_chunked ~d ~chunk ~n ~arena run =
+  let nchunks = (n + chunk - 1) / chunk in
+  let next = Atomic.make 0 in
+  let worker w () =
+    Trace.with_span "pool.worker" ~args:[ ("worker", string_of_int w) ]
+    @@ fun () ->
+    let a = arena () in
+    let failures = ref [] in
+    let rec loop () =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < nchunks then begin
+        Trace.with_span "pool.chunk" ~args:[ ("chunk", string_of_int c) ]
+          (fun () ->
+            let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+            for i = lo to hi - 1 do
+              try run a i with
+              | Task_failed _ as e -> failures := e :: !failures
+              | e ->
+                  let backtrace = Printexc.get_backtrace () in
+                  failures := Task_failed { index = i; exn = e; backtrace } :: !failures
+            done);
+        loop ()
+      end
+    in
+    loop ();
+    !failures
+  in
+  let all_failures =
+    if d = 1 then worker 0 ()
+    else begin
+      let spawned = Array.init (d - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+      let first_exn = ref None in
+      let mine = try worker 0 () with e -> first_exn := Some e; [] in
+      let rest =
+        Array.fold_left
+          (fun acc dom ->
+            match Domain.join dom with
+            | fs -> fs @ acc
+            | exception e ->
+                if Option.is_none !first_exn then first_exn := Some e;
+                acc)
+          [] spawned
+      in
+      (* An exception here escaped the per-task isolation (e.g. the arena
+         constructor itself died): surface it over the deferred failures. *)
+      (match !first_exn with Some e -> raise e | None -> ());
+      mine @ rest
+    end
+  in
+  match all_failures with
+  | [] -> ()
+  | fs ->
+      (* Deterministic abort point: the lowest failing index, whatever the
+         chunk assignment was. *)
+      let lowest a b =
+        match (a, b) with
+        | Task_failed { index = ia; _ }, Task_failed { index = ib; _ } ->
+            if ib < ia then b else a
+        | _ -> a
+      in
+      raise (List.fold_left lowest (List.hd fs) (List.tl fs))
+
+let run_batched ?domains ?chunk ~arena ~n f =
+  if n < 0 then invalid_arg "Pool.run_batched: n must be nonnegative";
+  let d = resolve_domains ~who:"Pool.run_batched" ~domains ~n in
+  let chunk = resolve_chunk ~who:"Pool.run_batched" ~chunk ~n ~d in
+  Metrics.inc m_batched_calls;
+  Metrics.inc ~by:n m_tasks;
+  let results = Array.make n None in
+  Trace.with_span "pool.run_batched" (fun () ->
+      run_chunked ~d ~chunk ~n ~arena (fun a i ->
+          results.(i) <- Some (f a i)));
+  Array.map (function Some v -> v | None -> assert false) results
 
 let parallel_init_sum ?domains ~n f =
   let terms = parallel_init ?domains ~n f in
@@ -201,7 +301,8 @@ let run_attempt ~deadline ~master ~attempt task i =
           backtrace = Printexc.get_backtrace ();
         }
 
-let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices task =
+let supervised_core ?domains ?chunk ?(restart_budget = 2) ?deadline ~arena ~rng
+    ~indices task =
   if restart_budget < 0 then
     invalid_arg "Pool.run_supervised: restart_budget must be nonnegative";
   Array.iter
@@ -237,33 +338,15 @@ let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices tas
       end;
       let np = Array.length pending in
       let outcomes = Array.make np None in
-      let run_slot pos =
-        outcomes.(pos) <-
-          Some
-            (run_attempt ~deadline ~master:rng ~attempt task
-               indices.(pending.(pos)))
-      in
       let d = min d_requested np in
-      if d = 1 then
-        for pos = 0 to np - 1 do
-          run_slot pos
-        done
-      else begin
-        let run_chunk c () =
-          Trace.with_span "pool.chunk" ~args:[ ("chunk", string_of_int c) ]
-          @@ fun () ->
-          let lo, hi = chunk_bounds ~n:np ~chunks:d c in
-          for pos = lo to hi - 1 do
-            run_slot pos
-          done
-        in
-        let spawned =
-          Array.init (d - 1) (fun c -> Domain.spawn (run_chunk (c + 1)))
-        in
-        run_chunk 0 ();
-        (* run_slot swallows every exception, so the joins are plain. *)
-        Array.iter Domain.join spawned
-      end;
+      let chunk = resolve_chunk ~who:"Pool.run_supervised" ~chunk ~n:np ~d in
+      (* run_attempt converts every task exception into a value, so the
+         chunked executor sees no failures and the joins are plain. *)
+      run_chunked ~d ~chunk ~n:np ~arena (fun a pos ->
+          outcomes.(pos) <-
+            Some
+              (run_attempt ~deadline ~master:rng ~attempt (task a)
+                 indices.(pending.(pos))));
       let still = ref [] in
       for pos = 0 to np - 1 do
         match outcomes.(pos) with
@@ -292,7 +375,19 @@ let run_supervised_on ?domains ?(restart_budget = 2) ?deadline ~rng ~indices tas
       failures = List.rev !failures;
     } )
 
+let run_supervised_on ?domains ?restart_budget ?deadline ~rng ~indices task =
+  supervised_core ?domains ?restart_budget ?deadline
+    ~arena:(fun () -> ())
+    ~rng ~indices
+    (fun () ctx -> task ctx)
+
 let run_supervised ?domains ?restart_budget ?deadline ~rng ~n task =
   if n < 0 then invalid_arg "Pool.run_supervised: n must be nonnegative";
   run_supervised_on ?domains ?restart_budget ?deadline ~rng
+    ~indices:(Array.init n Fun.id) task
+
+let run_supervised_batched ?domains ?chunk ?restart_budget ?deadline ~arena ~rng
+    ~n task =
+  if n < 0 then invalid_arg "Pool.run_supervised: n must be nonnegative";
+  supervised_core ?domains ?chunk ?restart_budget ?deadline ~arena ~rng
     ~indices:(Array.init n Fun.id) task

@@ -64,6 +64,42 @@ val parallel_init_sum : ?domains:int -> n:int -> (int -> float) -> float
     [f i] are evaluated in parallel, then accumulated left-to-right in
     index order, so the result is bit-identical for every domain count. *)
 
+(** {2 Chunked batches with per-domain arenas}
+
+    The per-task overheads that make a naive fan-out {e lose} throughput
+    as domains grow (BENCH_005's E10: 0.43x at 2 domains, 0.14x at 4 on a
+    single core) are spawn/sync cost and, above all, per-task allocation —
+    every minor collection is a stop-the-world rendezvous of {e all}
+    domains, so allocation-heavy tasks serialize on the GC however many
+    domains run. {!run_batched} attacks both: tasks are grouped into
+    fixed-size chunks that worker domains pull from a shared cursor (one
+    spawn per {e domain}, one atomic fetch per {e chunk}, nothing per
+    task), and each domain builds one [arena] of scratch buffers and
+    reuses it for every task it runs, so a task written against the arena
+    allocates (almost) nothing. *)
+
+val run_batched :
+  ?domains:int ->
+  ?chunk:int ->
+  arena:(unit -> 'arena) ->
+  n:int ->
+  ('arena -> int -> 'a) ->
+  'a array
+(** [run_batched ~arena ~n f] is [Array.init n (fun i -> f a i)] where
+    each worker domain gets its own [a = arena ()], built once and reused
+    across all tasks that domain runs. [f] must treat the arena as
+    uninitialized scratch (no task may depend on what a previous task left
+    in it) and must be a pure function of [i] given that — then the result
+    is bit-identical for every [domains] and [chunk] setting, exactly like
+    {!parallel_init}.
+
+    [chunk] is the number of consecutive tasks dispatched per queue pull
+    (default [ceil n/domains]); chunk {e contents} depend only on [chunk],
+    never on the domain count. If tasks raise, every non-failing task
+    still runs, and after all domains are joined the failure with the
+    lowest task index is re-raised as {!Task_failed}. Meters
+    [pool.batched_calls] and [pool.tasks]. *)
+
 (** {2 Supervised execution}
 
     [run_supervised ~rng ~n task] runs [n] tasks like {!parallel_init},
@@ -170,3 +206,23 @@ val run_supervised_on :
     (e.g. the trials a checkpoint is missing) yields bit-for-bit the
     values a full run would have produced at those indices. This is the
     primitive {!Checkpoint.sweep} resumes on. *)
+
+val run_supervised_batched :
+  ?domains:int ->
+  ?chunk:int ->
+  ?restart_budget:int ->
+  ?deadline:float ->
+  arena:(unit -> 'arena) ->
+  rng:Prng.t ->
+  n:int ->
+  ('arena -> ctx -> 'a) ->
+  'a array * report
+(** {!run_supervised} with {!run_batched}'s chunked scheduling and
+    per-domain arenas: each round's still-pending attempts are pulled in
+    [chunk]-sized batches by worker domains that build one [arena] each
+    (fresh domains — and fresh arenas — per round, preserving crash
+    isolation). The per-task streams are {e exactly} {!run_supervised}'s
+    ([ctx.rng = split (split rng i) 0], [ctx.attempt_rng =
+    split (split rng i) (attempt+1)]), so for a task function that ignores
+    its arena, results, report and metric increments are bit-identical to
+    the unbatched supervisor at every [domains] x [chunk] combination. *)

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "dcs-batched"
+    [
+      ("kernels", Test_bkernels.suite);
+      ("pool-batched", Test_bpool.suite);
+      ("routing", Test_brouting.suite);
+    ]

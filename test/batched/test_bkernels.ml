@@ -1,0 +1,249 @@
+(* Randomized equivalence battery for the batched CSR kernels: [cut_many]
+   must equal a per-cut [cut_weight] loop and [flip_sweep] a per-flip
+   [cut_delta] loop, bit for bit — on random digraphs, random batches
+   (empty, singleton, duplicated), both weight backends, and reused
+   output buffers. All comparisons are exact float equality: the kernels
+   are specified to perform the same operations in the same order, not to
+   be merely close. *)
+
+open Dcs
+module M = Obs.Metrics
+
+let random_int_digraph rng ~n ~p ~max_weight =
+  let g = Digraph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Prng.float rng 1.0 < p then
+        Digraph.add_edge g u v (float_of_int (1 + Prng.int rng max_weight))
+    done
+  done;
+  g
+
+let random_csr rng ~n =
+  let g = random_int_digraph rng ~n ~p:0.35 ~max_weight:8 in
+  let c = Csr.of_digraph g in
+  if Prng.bool rng then Csr.with_bigarray_weights c else c
+
+(* --- cut_many --- *)
+
+let prop_cut_many_matches_cut_weight =
+  QCheck.Test.make ~name:"cut_many = per-cut cut_weight (both backends)"
+    ~count:80
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 14 in
+      let c = random_csr rng ~n in
+      let batch = Prng.int rng 8 in
+      let sides =
+        Array.init batch (fun _ -> Array.init n (fun _ -> Prng.bool rng))
+      in
+      (* duplicate cuts in one batch must accumulate independently *)
+      if batch >= 2 then sides.(batch - 1) <- Array.copy sides.(0);
+      let out = Csr.cut_many c sides in
+      Array.length out = batch
+      && Array.for_all (fun x -> x)
+           (Array.init batch (fun m ->
+                out.(m) = Csr.cut_weight c (fun v -> sides.(m).(v)))))
+
+let prop_cut_many_backends_agree =
+  QCheck.Test.make ~name:"cut_many: bigarray backend byte-identical"
+    ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 14 in
+      let g = random_int_digraph rng ~n ~p:0.4 ~max_weight:8 in
+      let c = Csr.of_digraph g in
+      let cb = Csr.with_bigarray_weights c in
+      let batch = 1 + Prng.int rng 6 in
+      let sides =
+        Array.init batch (fun _ -> Array.init n (fun _ -> Prng.bool rng))
+      in
+      Csr.cut_many c sides = Csr.cut_many cb sides)
+
+let test_cut_many_edge_cases () =
+  let g = Digraph.of_edges 3 [ (0, 1, 2.0); (1, 2, 4.0); (2, 0, 8.0) ] in
+  let c = Csr.of_digraph g in
+  Alcotest.(check (array (float 0.0))) "empty batch" [||] (Csr.cut_many c [||]);
+  let singleton v = Array.init 3 (fun u -> u = v) in
+  let sides =
+    [| Array.make 3 false; Array.make 3 true; singleton 0; singleton 1 |]
+  in
+  Alcotest.(check (array (float 0.0)))
+    "empty / full / singleton sides"
+    [| 0.0; 0.0; 2.0; 4.0 |]
+    (Csr.cut_many c sides)
+
+let test_cut_many_into () =
+  let g = Digraph.of_edges 3 [ (0, 1, 2.0); (1, 2, 4.0) ] in
+  let c = Csr.of_digraph g in
+  let into = Array.make 5 (-1.0) in
+  let sides = [| [| true; false; false |]; [| true; true; false |] |] in
+  let out = Csr.cut_many ~into c sides in
+  Alcotest.(check bool) "returns the caller's buffer" true (out == into);
+  Alcotest.(check (float 0.0)) "slot 0" 2.0 into.(0);
+  Alcotest.(check (float 0.0)) "slot 1" 4.0 into.(1);
+  Alcotest.(check (float 0.0)) "slots past the batch untouched" (-1.0) into.(2)
+
+let test_cut_many_validation () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0) ] in
+  let c = Csr.of_digraph g in
+  Alcotest.check_raises "side length"
+    (Invalid_argument "Csr.cut_many: side length mismatch") (fun () ->
+      ignore (Csr.cut_many c [| Array.make 2 false |]));
+  Alcotest.check_raises "into too short"
+    (Invalid_argument "Csr.cut_many: into too short") (fun () ->
+      ignore
+        (Csr.cut_many ~into:(Array.make 1 0.0) c
+           [| Array.make 3 false; Array.make 3 false |]))
+
+let test_cut_many_counters () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0) ] in
+  let c = Csr.of_digraph g in
+  let full = M.counter "csr.cut_full" in
+  let calls = M.counter "csr.cut_many_calls" in
+  let f0 = M.counter_value full and c0 = M.counter_value calls in
+  ignore (Csr.cut_many c (Array.init 5 (fun _ -> Array.make 3 false)));
+  Alcotest.(check int) "one cut_full per cut" 5 (M.counter_value full - f0);
+  Alcotest.(check int) "one cut_many call" 1 (M.counter_value calls - c0)
+
+(* --- flip_sweep --- *)
+
+let prop_flip_sweep_matches_cut_delta =
+  QCheck.Test.make ~name:"flip_sweep = per-flip cut_delta loop" ~count:80
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 14 in
+      let c = random_csr rng ~n in
+      let len = Prng.int rng 41 in
+      (* duplicates are the norm: each occurrence toggles again *)
+      let flips = Array.init len (fun _ -> Prng.int rng n) in
+      let side0 = Array.init n (fun _ -> Prng.bool rng) in
+      let init = Csr.cut_weight c (fun v -> side0.(v)) in
+      (* reference: the one-flip-at-a-time loop *)
+      let side_a = Array.copy side0 in
+      let cur = ref init in
+      let expect =
+        Array.map
+          (fun x ->
+            cur := !cur +. Csr.cut_delta c side_a x;
+            side_a.(x) <- not side_a.(x);
+            !cur)
+          flips
+      in
+      let side_b = Array.copy side0 in
+      let vals = Array.make (max 1 len) nan in
+      let final = Csr.flip_sweep c ~side:side_b ~init ~flips ~vals in
+      final = (if len = 0 then init else expect.(len - 1))
+      && Array.for_all (fun ok -> ok)
+           (Array.init len (fun j -> vals.(j) = expect.(j)))
+      && side_b = side_a)
+
+let prop_flip_sweep_window =
+  QCheck.Test.make ~name:"flip_sweep ?off ?len applies exactly the window"
+    ~count:60
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 10 in
+      let c = random_csr rng ~n in
+      let total = 1 + Prng.int rng 30 in
+      let flips = Array.init total (fun _ -> Prng.int rng n) in
+      let off = Prng.int rng total in
+      let len = Prng.int rng (total - off + 1) in
+      let side0 = Array.init n (fun _ -> Prng.bool rng) in
+      let init = Csr.cut_weight c (fun v -> side0.(v)) in
+      let side_a = Array.copy side0 in
+      let cur = ref init in
+      for j = off to off + len - 1 do
+        cur := !cur +. Csr.cut_delta c side_a flips.(j);
+        side_a.(flips.(j)) <- not side_a.(flips.(j))
+      done;
+      let side_b = Array.copy side0 in
+      let vals = Array.make (max 1 len) nan in
+      let final = Csr.flip_sweep ~off ~len c ~side:side_b ~init ~flips ~vals in
+      final = !cur && side_b = side_a)
+
+let test_flip_sweep_validation () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0) ] in
+  let c = Csr.of_digraph g in
+  let side = Array.make 3 false in
+  Alcotest.check_raises "bad off/len"
+    (Invalid_argument "Csr.flip_sweep: bad off/len") (fun () ->
+      ignore
+        (Csr.flip_sweep ~off:1 ~len:2 c ~side ~init:0.0 ~flips:[| 0; 1 |]
+           ~vals:(Array.make 2 0.0)));
+  Alcotest.check_raises "vals too short"
+    (Invalid_argument "Csr.flip_sweep: vals too short") (fun () ->
+      ignore
+        (Csr.flip_sweep c ~side ~init:0.0 ~flips:[| 0; 1 |]
+           ~vals:(Array.make 1 0.0)));
+  Alcotest.check_raises "vertex out of range"
+    (Invalid_argument "Csr.flip_sweep: vertex out of range") (fun () ->
+      ignore
+        (Csr.flip_sweep c ~side ~init:0.0 ~flips:[| 3 |]
+           ~vals:(Array.make 1 0.0)));
+  Alcotest.check_raises "side length"
+    (Invalid_argument "Csr.flip_sweep: side length mismatch") (fun () ->
+      ignore
+        (Csr.flip_sweep c ~side:(Array.make 2 false) ~init:0.0 ~flips:[| 0 |]
+           ~vals:(Array.make 1 0.0)))
+
+let test_flip_sweep_counters () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.0) ] in
+  let c = Csr.of_digraph g in
+  let delta = M.counter "csr.cut_delta" in
+  let calls = M.counter "csr.flip_sweep_calls" in
+  let d0 = M.counter_value delta and c0 = M.counter_value calls in
+  ignore
+    (Csr.flip_sweep c ~side:(Array.make 3 false) ~init:0.0
+       ~flips:[| 0; 1; 0 |] ~vals:(Array.make 3 0.0));
+  Alcotest.(check int) "one cut_delta per flip" 3 (M.counter_value delta - d0);
+  Alcotest.(check int) "one flip_sweep call" 1 (M.counter_value calls - c0)
+
+(* --- bigarray mirrors --- *)
+
+let test_bigarray_weights_flags () =
+  let g = Digraph.of_edges 3 [ (0, 1, 1.5); (1, 2, 2.5) ] in
+  let c = Csr.of_digraph g in
+  Alcotest.(check bool) "fresh csr: no mirror" false (Csr.has_bigarray_weights c);
+  let cb = Csr.with_bigarray_weights c in
+  Alcotest.(check bool) "mirror attached" true (Csr.has_bigarray_weights cb);
+  Alcotest.(check bool) "idempotent" true (Csr.with_bigarray_weights cb == cb);
+  Alcotest.(check bool) "reverse keeps mirror" true
+    (Csr.has_bigarray_weights (Csr.reverse cb))
+
+let prop_bigarray_reverse_agrees =
+  QCheck.Test.make ~name:"reverse of mirrored csr: kernels still agree"
+    ~count:40
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 10 in
+      let g = random_int_digraph rng ~n ~p:0.4 ~max_weight:8 in
+      let r = Csr.reverse (Csr.with_bigarray_weights (Csr.of_digraph g)) in
+      let plain = Csr.reverse (Csr.of_digraph g) in
+      let sides = Array.init 3 (fun _ -> Array.init n (fun _ -> Prng.bool rng)) in
+      Csr.cut_many r sides = Csr.cut_many plain sides)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cut_many_matches_cut_weight;
+      prop_cut_many_backends_agree;
+      prop_flip_sweep_matches_cut_delta;
+      prop_flip_sweep_window;
+      prop_bigarray_reverse_agrees;
+    ]
+  @ [
+      Alcotest.test_case "cut_many: edge cases" `Quick test_cut_many_edge_cases;
+      Alcotest.test_case "cut_many: into reuse" `Quick test_cut_many_into;
+      Alcotest.test_case "cut_many: validation" `Quick test_cut_many_validation;
+      Alcotest.test_case "cut_many: counters" `Quick test_cut_many_counters;
+      Alcotest.test_case "flip_sweep: validation" `Quick
+        test_flip_sweep_validation;
+      Alcotest.test_case "flip_sweep: counters" `Quick test_flip_sweep_counters;
+      Alcotest.test_case "bigarray: flags" `Quick test_bigarray_weights_flags;
+    ]

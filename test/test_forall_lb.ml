@@ -223,11 +223,12 @@ let test_decode_enumerate_accepts_k24 () =
     (d = F.correct_decision inst)
 
 let test_decode_enumerate_csr_guard () =
-  (* Even the CSR path has a ceiling. k = 32 > 26. *)
+  (* Even the CSR path has a ceiling. k = 32 > enumerate_guard = 28. *)
+  Alcotest.(check int) "guard" 28 F.enumerate_guard;
   let p = F.make_params ~beta:4 ~inv_eps_sq:8 64 in
   let inst = random_inst 31 p in
   Alcotest.check_raises "k too large for csr"
-    (Invalid_argument "Forall_lb.decode_enumerate: k too large (> 26)") (fun () ->
+    (Invalid_argument "Forall_lb.decode_enumerate: k too large (> 28)") (fun () ->
       ignore
         (F.decode_enumerate ~graph:inst.F.graph p
            ~query:(fun s -> Cut.value inst.F.graph s)
