@@ -49,6 +49,7 @@ let experiments =
     ("E18", "Profiling: instrumented 1.1/1.3 pipelines", false, Exp_profile.run);
     ("E19", "Representation: frozen CSR vs hashtable adjacency", false, Exp_repr.run);
     ("E20", "Batched kernels + chunked pool: multicore throughput", false, Exp_batched.run);
+    ("E21", "dcutd serving layer: admission control + degradation", false, Exp_serve.run);
   ]
 
 let json_path : string option ref = ref None

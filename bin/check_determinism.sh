@@ -5,7 +5,7 @@
 # per-trial seed-splitting leaked scheduling into a result.
 #
 # Usage: bin/check_determinism.sh [experiment ids...]
-#                                 (default: E3 E4 E16 E17 E19 E20)
+#                                 (default: E3 E4 E16 E17 E19 E20 E21)
 #
 # Experiments are diffed ONE AT A TIME so the first divergence fails fast
 # and names the experiment (a combined run could only say "something in the
@@ -22,6 +22,14 @@
 # k = 28 enumerate and a Karger sweep at explicit domain counts 1/2/4
 # *inside* the experiment; the gate re-runs it under each DCS_DOMAINS value
 # to prove the ambient domain count leaks into nothing.
+#
+# E21 is in the default set because it replays a million-request serving
+# trace through dcutd's engine — token-bucket admission, bounded-queue
+# shedding, wire give-ups, jittered oracle retries, circuit-breaker
+# degradation — under five scenarios. Virtual time keeps every latency and
+# shed decision a pure function of (trace, config, seed), so the whole
+# throughput x p50/p99 x shed-rate table must be byte-identical at every
+# DCS_DOMAINS value.
 #
 # E16 is in the default set because it exercises the fault-injection layer:
 # its drop/corruption/timeout/lie draws must come out of the split streams
@@ -44,11 +52,11 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4 E16 E17 E19 E20}"
+experiments="${*:-E3 E4 E16 E17 E19 E20 E21}"
 domain_counts="1 2 4"
 
-echo "== building (bench, tests, @batched kernel suite) =="
-dune build bench/main.exe test/main.exe @batched
+echo "== building (bench, tests, @batched kernel suite, @serve suite) =="
+dune build bench/main.exe test/main.exe @batched @serve
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -122,6 +130,11 @@ echo "== batched kernel suite (@batched) with DCS_DOMAINS=1 and 4 =="
 DCS_DOMAINS=1 dune exec --no-build test/batched/main_batched.exe > /dev/null
 DCS_DOMAINS=4 dune exec --no-build test/batched/main_batched.exe > /dev/null
 echo "batched kernel suite green at DCS_DOMAINS=1 and 4"
+
+echo "== serving-layer suite (@serve) with DCS_DOMAINS=1 and 4 =="
+DCS_DOMAINS=1 dune exec --no-build test/serve/main_serve.exe > /dev/null
+DCS_DOMAINS=4 dune exec --no-build test/serve/main_serve.exe > /dev/null
+echo "serving-layer suite green at DCS_DOMAINS=1 and 4"
 
 echo "== test suite with DCS_DOMAINS=1 =="
 DCS_DOMAINS=1 dune exec --no-build test/main.exe

@@ -10,6 +10,7 @@ let m_retransmit_bits = Metrics.counter "channel.retransmit_bits"
 let m_deliveries = Metrics.counter "channel.deliveries"
 let m_drops = Metrics.counter "channel.drops"
 let m_corruptions = Metrics.counter "channel.corruptions_injected"
+let m_gave_up = Metrics.counter "channel.gave_up"
 
 type t = { mutable bits : int; mutable rounds : int }
 
@@ -76,6 +77,30 @@ let transmit l ?(retransmission = false) ~bits payload =
     end
     else Received payload
   end
+
+type give_up = { transmissions : int; gu_drops : int; gu_corruptions : int }
+
+let transmit_reliable l ?(verify = fun _ -> true) ~max_retransmissions ~bits
+    payload =
+  if max_retransmissions < 0 then
+    invalid_arg "Channel.transmit_reliable: max_retransmissions must be >= 0";
+  let rec go attempt drops corruptions =
+    if attempt > max_retransmissions then begin
+      Metrics.inc m_gave_up;
+      Error
+        {
+          transmissions = max_retransmissions + 1;
+          gu_drops = drops;
+          gu_corruptions = corruptions;
+        }
+    end
+    else
+      match transmit l ~retransmission:(attempt > 0) ~bits payload with
+      | Dropped -> go (attempt + 1) (drops + 1) corruptions
+      | Received s ->
+          if verify s then Ok s else go (attempt + 1) drops (corruptions + 1)
+  in
+  go 0 0 0
 
 let first_send_bits l = total_bits l.first
 let retransmit_bits l = total_bits l.retrans

@@ -40,7 +40,15 @@
     {1 Distributed min-cut}
 
     - {!Partition}, {!Coordinator} — the ACK+16 pipeline from the
-      introduction. *)
+      introduction.
+
+    {1 Serving}
+
+    - {!Traffic}, {!Serve} — [dcutd]'s long-lived cut-query serving layer:
+      deterministic open-loop traffic, admission control ({!Token_bucket},
+      bounded queue with typed shedding), a
+      {!Csr.fingerprint}-keyed sketch cache, jittered-backoff oracle
+      retries and circuit-breaking to a degraded (wider-[eps]) mode. *)
 
 (** The observability substrate: {!Obs.Metrics} (per-domain sharded
     counters, gauges and exponential-bucket histograms with a deterministic
@@ -62,6 +70,7 @@ module Table = Dcs_util.Table
 module Message = Dcs_util.Message
 module Fault = Dcs_util.Fault
 module Retry = Dcs_util.Retry
+module Token_bucket = Dcs_util.Token_bucket
 module Checksum = Dcs_util.Checksum
 module Checkpoint = Dcs_util.Checkpoint
 
@@ -123,3 +132,6 @@ module Agm_sketch = Dcs_stream.Agm_sketch
 
 module Partition = Dcs_distributed.Partition
 module Coordinator = Dcs_distributed.Coordinator
+
+module Traffic = Dcs_serve.Traffic
+module Serve = Dcs_serve.Serve

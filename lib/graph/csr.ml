@@ -124,6 +124,25 @@ let of_ugraph g =
   { n = nv; arcs; out_off = off; out_dst = dst; out_w = w;
     in_off = off; in_src = dst; in_w = w; big = None }
 
+(* Content fingerprint: chain the SplitMix64 finalizer (Prng.mix64 — the
+   same mixer Prng.fingerprint is built from) over n and the out-direction
+   offset/endpoint/weight arrays. Rows are endpoint-sorted at freeze, so
+   the fold order is canonical: two freezes of equal graphs collide by
+   construction, whatever hashtable history produced them. The in-direction
+   is determined by the out-direction, and the Bigarray mirrors hold the
+   same doubles, so neither joins the fold. *)
+let fingerprint t =
+  let mix = Dcs_util.Prng.mix64 in
+  let h = ref (mix (Int64.of_int t.n)) in
+  let fold_int v = h := mix (Int64.logxor !h (Int64.of_int v)) in
+  let fold_float v = h := mix (Int64.logxor !h (Int64.bits_of_float v)) in
+  Array.iter fold_int t.out_off;
+  for i = 0 to t.arcs - 1 do
+    fold_int t.out_dst.(i);
+    fold_float t.out_w.(i)
+  done;
+  !h
+
 let reverse t =
   {
     t with

@@ -34,6 +34,14 @@ val m : t -> int
 val reverse : t -> t
 (** Every arc flipped. O(1): swaps the two stored directions. *)
 
+val fingerprint : t -> int64
+(** Pure content hash of the frozen graph (vertex count, offsets, sorted
+    endpoints, weights) chained through {!Dcs_util.Prng.mix64} — the
+    finalizer {!Dcs_util.Prng.fingerprint} uses for stream identities.
+    Two freezes of equal graphs always agree (rows are canonically
+    sorted), so the value works as a cache key: the serving layer's sketch
+    cache is keyed by it. O(n + m); call once and keep it. *)
+
 val weight : t -> int -> int -> float
 (** Weight of arc (u, v), 0 if absent. Binary search: O(log degree). *)
 

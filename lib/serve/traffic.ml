@@ -1,0 +1,72 @@
+module Prng = Dcs_util.Prng
+
+type config = {
+  keys : int;
+  hot_keys : int;
+  hot_fraction : float;
+  mean_gap : int;
+  burst_every : int;
+  burst_len : int;
+  burst_factor : int;
+  deadline : int;
+}
+
+let default =
+  {
+    keys = 64;
+    hot_keys = 8;
+    hot_fraction = 0.95;
+    mean_gap = 8;
+    burst_every = 2000;
+    burst_len = 250;
+    burst_factor = 10;
+    deadline = 4000;
+  }
+
+let validate cfg =
+  if cfg.keys < 1 then invalid_arg "Traffic: keys must be >= 1";
+  if cfg.hot_keys < 1 || cfg.hot_keys > cfg.keys then
+    invalid_arg "Traffic: hot_keys must be in [1, keys]";
+  if not (cfg.hot_fraction >= 0. && cfg.hot_fraction <= 1.) then
+    invalid_arg "Traffic: hot_fraction must be in [0, 1]";
+  if cfg.hot_fraction < 1. && cfg.hot_keys >= cfg.keys then
+    invalid_arg "Traffic: hot_fraction < 1 needs a nonempty cold set";
+  if cfg.mean_gap < 1 then invalid_arg "Traffic: mean_gap must be >= 1";
+  if cfg.burst_factor < 1 then invalid_arg "Traffic: burst_factor must be >= 1";
+  if cfg.burst_every < 0 then invalid_arg "Traffic: burst_every must be >= 0";
+  if cfg.burst_len < 0 then invalid_arg "Traffic: burst_len must be >= 0";
+  if cfg.deadline < 1 then invalid_arg "Traffic: deadline must be >= 1"
+
+type request = {
+  seq : int;
+  arrival : int;
+  key : int;
+  cut_seed : int;
+  deadline : int;
+}
+
+let in_burst cfg tick =
+  cfg.burst_every > 0 && cfg.burst_len > 0 && tick mod cfg.burst_every < cfg.burst_len
+
+(* Seeds must stay positive ints on every platform; 30 bits is plenty of
+   distinct cuts and keeps traces identical across word sizes. *)
+let seed_bound = 1 lsl 30
+
+let generate rng cfg ~n =
+  validate cfg;
+  if n < 0 then invalid_arg "Traffic.generate: n must be >= 0";
+  let r = Prng.fork rng in
+  let clock = ref 0 in
+  Array.init n (fun seq ->
+      let gap_mean =
+        if in_burst cfg !clock then max 1 (cfg.mean_gap / cfg.burst_factor)
+        else cfg.mean_gap
+      in
+      clock := !clock + Prng.int r ((2 * gap_mean) + 1);
+      let key =
+        if cfg.hot_fraction >= 1. || Prng.bernoulli r cfg.hot_fraction then
+          Prng.int r cfg.hot_keys
+        else cfg.hot_keys + Prng.int r (cfg.keys - cfg.hot_keys)
+      in
+      let cut_seed = Prng.int r seed_bound in
+      { seq; arrival = !clock; key; cut_seed; deadline = cfg.deadline })

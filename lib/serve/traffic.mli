@@ -1,0 +1,59 @@
+(** Deterministic open-loop synthetic traffic for the serving layer.
+
+    A trace is a sequence of cut-query requests with nondecreasing virtual
+    arrival ticks, generated from a single {!Dcs_util.Prng} stream — the
+    same seed always yields the same trace, byte for byte, so a served run
+    is as replayable as any other experiment in this repo. Open-loop means
+    arrivals never wait for the server: a slow or degraded server faces the
+    same offered load, which is what makes overload (and the admission
+    control that answers it) observable at all.
+
+    The load shape has the three knobs a serving benchmark needs:
+
+    - {b hot-key skew}: a request targets one of [hot_keys] hot graphs with
+      probability [hot_fraction], a uniformly random cold graph otherwise —
+      the regime a fingerprint-keyed sketch cache is built for;
+    - {b bursts}: every [burst_every] ticks the arrival rate multiplies by
+      [burst_factor] for [burst_len] ticks (inter-arrival gaps divide), the
+      overload battery for admission control;
+    - {b deadlines}: every request carries a per-request completion budget
+      in ticks. *)
+
+type config = {
+  keys : int;          (** distinct graph keys addressable by the trace *)
+  hot_keys : int;      (** size of the hot set (keys [0 .. hot_keys-1]) *)
+  hot_fraction : float;(** probability a request targets the hot set *)
+  mean_gap : int;      (** steady-state mean inter-arrival gap, ticks *)
+  burst_every : int;   (** tick period of burst onsets; 0 disables bursts *)
+  burst_len : int;     (** burst duration, ticks *)
+  burst_factor : int;  (** arrival-rate multiplier inside a burst *)
+  deadline : int;      (** per-request completion budget, ticks *)
+}
+
+val default : config
+(** 64 keys, 8 hot at 95%, mean gap 8, a 10x burst of 250 ticks every
+    2000, deadline 4000. *)
+
+val validate : config -> unit
+(** [Invalid_argument] unless [1 <= hot_keys <= keys],
+    [hot_fraction] is in [0, 1] (and [hot_keys < keys] when it is < 1),
+    [mean_gap >= 1], [burst_factor >= 1], [burst_every >= 0],
+    [burst_len >= 0] and [deadline >= 1]. *)
+
+type request = {
+  seq : int;       (** position in the trace: 0, 1, ... *)
+  arrival : int;   (** arrival tick; nondecreasing along the trace *)
+  key : int;       (** graph key in [0, keys) *)
+  cut_seed : int;  (** seed deriving the queried cut of that graph *)
+  deadline : int;  (** ticks allotted from arrival to completion *)
+}
+
+val in_burst : config -> int -> bool
+(** Whether a tick falls inside a burst window. *)
+
+val generate : Dcs_util.Prng.t -> config -> n:int -> request array
+(** [generate rng cfg ~n] draws an [n]-request trace from a fork of [rng]
+    (advancing [rng] once): gaps are uniform on [0, 2 * gap_mean] (so the
+    configured mean is exact in expectation), where [gap_mean] is
+    [mean_gap] outside bursts and [max 1 (mean_gap / burst_factor)]
+    inside. *)

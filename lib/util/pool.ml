@@ -391,3 +391,8 @@ let run_supervised_batched ?domains ?chunk ?restart_budget ?deadline ~arena ~rng
   if n < 0 then invalid_arg "Pool.run_supervised: n must be nonnegative";
   supervised_core ?domains ?chunk ?restart_budget ?deadline ~arena ~rng
     ~indices:(Array.init n Fun.id) task
+
+let run_supervised_batched_on ?domains ?chunk ?restart_budget ?deadline ~arena
+    ~rng ~indices task =
+  supervised_core ?domains ?chunk ?restart_budget ?deadline ~arena ~rng ~indices
+    task

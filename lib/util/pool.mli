@@ -226,3 +226,19 @@ val run_supervised_batched :
     split (split rng i) (attempt+1)]), so for a task function that ignores
     its arena, results, report and metric increments are bit-identical to
     the unbatched supervisor at every [domains] x [chunk] combination. *)
+
+val run_supervised_batched_on :
+  ?domains:int ->
+  ?chunk:int ->
+  ?restart_budget:int ->
+  ?deadline:float ->
+  arena:(unit -> 'arena) ->
+  rng:Prng.t ->
+  indices:int array ->
+  ('arena -> ctx -> 'a) ->
+  'a array * report
+(** {!run_supervised_batched} over an explicit index set, with
+    {!run_supervised_on}'s slot/stream contract: task streams are split by
+    the real index, so a resumed subset reproduces a full run's values bit
+    for bit. This is the primitive {!Checkpoint.sweep_batched} resumes
+    on. *)

@@ -35,6 +35,13 @@ val fingerprint : t -> int64
     exact stream a crashed or hung task was running on, so a failure can
     be replayed in isolation. *)
 
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer: a fast bijective 64-bit mixer. Exposed so
+    content fingerprints elsewhere in the library (e.g.
+    {!Dcs_graph.Csr.fingerprint}, the serving layer's sketch-cache key) can
+    chain the exact mixer {!fingerprint} is built from, instead of
+    inventing a second hash. *)
+
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 

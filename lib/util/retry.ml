@@ -16,6 +16,33 @@ let with_budget ~budget f =
   in
   go 0 0
 
+(* min cap (base * 2^a) without overflow: once the doubling clears the cap
+   the clamp is exact, so stop multiplying there. *)
+let clamped_exponential ~base ~cap attempt =
+  let rec go v a = if v >= cap || a = 0 then min v cap else go (2 * v) (a - 1) in
+  go base attempt
+
+let jittered_wait ~rng ~base ~cap ~attempt =
+  if base < 1 then invalid_arg "Retry.jittered_wait: base must be >= 1";
+  if cap < 1 then invalid_arg "Retry.jittered_wait: cap must be >= 1";
+  if attempt < 0 then invalid_arg "Retry.jittered_wait: attempt must be >= 0";
+  let hi = clamped_exponential ~base ~cap attempt in
+  1 + Prng.int (Prng.split rng attempt) hi
+
+let with_jittered_backoff ~budget ?(base = 1) ?(cap = 64) ~rng f =
+  if budget < 1 then invalid_arg "Retry.with_jittered_backoff: budget must be >= 1";
+  if base < 1 then invalid_arg "Retry.with_jittered_backoff: base must be >= 1";
+  if cap < 1 then invalid_arg "Retry.with_jittered_backoff: cap must be >= 1";
+  let rec go attempt backoff =
+    match f ~attempt with
+    | Some _ as v -> { value = v; attempts = attempt + 1; backoff_units = backoff }
+    | None ->
+        if attempt + 1 >= budget then
+          { value = None; attempts = attempt + 1; backoff_units = backoff }
+        else go (attempt + 1) (backoff + jittered_wait ~rng ~base ~cap ~attempt)
+  in
+  go 0 0
+
 let majority ~k f =
   if k < 1 then invalid_arg "Retry.majority: k must be >= 1";
   (* First-seen order; k is small (typically 1 or 3), so an assoc list is

@@ -1,0 +1,199 @@
+(* Checkpoint/resume over the *batched* supervised pool.
+
+   test/test_checkpoint.ml already proves kill-then-resume is bit-exact
+   for the per-task supervisor; here the same contract is pinned for
+   [Checkpoint.sweep_batched] — chunked scheduling, per-domain arenas —
+   which is what the serving layer and E20/E21 actually run on. The
+   sweeps are killed at block boundaries (the only places a real kill can
+   land between snapshots), resumed at a {e different} domains x chunk
+   setting, and must still reproduce the unbatched clean run byte for
+   byte, with every trial computed exactly once across the two halves
+   (checked against the [pool.supervised_tasks] Obs counter). *)
+
+open Dcs
+
+let with_tmp f =
+  let path = Filename.temp_file "dcs_bckpt_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* The same lossless trial as the unbatched checkpoint tests: two draws
+   off the per-index task stream, so any scheduling difference shows. *)
+let trial ctx =
+  let rng = ctx.Pool.rng in
+  (Prng.bits64 rng, Prng.bits64 rng)
+
+let encode (a, b) = Printf.sprintf "%Lx %Lx" a b
+
+let decode s =
+  try Scanf.sscanf s "%Lx %Lx" (fun a b -> Some (a, b))
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let n = 23
+let seed = 907
+let domains_grid = [ 1; 2; 4 ]
+let chunk_grid = [ 1; 3; 8 ]
+
+(* The reference answer comes from the *unbatched* sweep: batching and
+   interruption must both be invisible. *)
+let expected =
+  lazy (fst (Checkpoint.sweep ~encode ~decode ~rng:(Prng.create seed) ~n trial))
+
+let supervised_tasks () =
+  Obs.Metrics.counter_value (Obs.Metrics.counter "pool.supervised_tasks")
+
+let test_batched_matches_unbatched () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun chunk ->
+          let vals, rep =
+            Checkpoint.sweep_batched ~domains ~chunk
+              ~arena:(fun () -> ())
+              ~encode ~decode ~rng:(Prng.create seed) ~n
+              (fun () ctx -> trial ctx)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "d=%d c=%d all computed" domains chunk)
+            n rep.Checkpoint.computed;
+          Alcotest.(check bool)
+            (Printf.sprintf "d=%d c=%d batched = unbatched" domains chunk)
+            true
+            (vals = Lazy.force expected))
+        chunk_grid)
+    domains_grid
+
+let test_batched_snapshots_match_unbatched () =
+  (* Not just the results: the snapshot bytes on disk are the same file
+     an unbatched sweep would have written, so either flavor can resume
+     the other's checkpoint. *)
+  let read path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  with_tmp (fun path_a ->
+      with_tmp (fun path_b ->
+          let _ =
+            Checkpoint.sweep ~path:path_a ~signature:"snap" ~resume:false
+              ~block:6 ~encode ~decode ~rng:(Prng.create seed) ~n trial
+          in
+          let _ =
+            Checkpoint.sweep_batched ~path:path_b ~signature:"snap"
+              ~resume:false ~block:6 ~domains:4 ~chunk:3
+              ~arena:(fun () -> ())
+              ~encode ~decode ~rng:(Prng.create seed) ~n
+              (fun () ctx -> trial ctx)
+          in
+          Alcotest.(check string) "snapshot bytes identical" (read path_a)
+            (read path_b)))
+
+let test_kill_at_block_boundary_resume_identical () =
+  (* Kill exactly at block boundaries (the snapshot points), resume at a
+     different domains x chunk setting, demand bit-equality with the
+     clean unbatched run — for every boundary of a 5-block sweep. *)
+  let block = 5 in
+  List.iter
+    (fun abort_after ->
+      with_tmp (fun path ->
+          let before = supervised_tasks () in
+          (match
+             Checkpoint.sweep_batched ~path ~signature:"kill" ~resume:false
+               ~block ~abort_after ~domains:4 ~chunk:2
+               ~arena:(fun () -> ())
+               ~encode ~decode ~rng:(Prng.create seed) ~n
+               (fun () ctx -> trial ctx)
+           with
+          | _ -> Alcotest.fail "abort_after should interrupt"
+          | exception Checkpoint.Interrupted { completed_now; _ } ->
+              Alcotest.(check int)
+                (Printf.sprintf "killed at the %d-trial boundary" abort_after)
+                abort_after completed_now);
+          let vals, rep =
+            Checkpoint.sweep_batched ~path ~signature:"kill" ~block ~domains:2
+              ~chunk:7
+              ~arena:(fun () -> ())
+              ~encode ~decode ~rng:(Prng.create seed) ~n
+              (fun () ctx -> trial ctx)
+          in
+          Alcotest.(check int) "checkpointed trials restored" abort_after
+            rep.Checkpoint.resumed;
+          Alcotest.(check int) "only the rest recomputed" (n - abort_after)
+            rep.Checkpoint.computed;
+          Alcotest.(check bool) "kill + resume bit-identical" true
+            (vals = Lazy.force expected);
+          (* Exactly-once accounting: across the kill and the resume,
+             every trial was submitted to the pool exactly once — the
+             restored ones were never resubmitted. *)
+          Alcotest.(check int) "each trial supervised exactly once" n
+            (supervised_tasks () - before)))
+    [ block; 2 * block; 3 * block; 4 * block ]
+
+let test_kill_resume_with_crashes_exactly_once () =
+  (* Crash injection on first attempts + a kill + a cross-setting resume:
+     results still bit-identical, and restarts show up on the restart
+     counters — never as duplicate supervised submissions. *)
+  let crashy () ctx =
+    if ctx.Pool.attempt = 0 && ctx.Pool.index mod 5 = 2 then failwith "flaky";
+    trial ctx
+  in
+  with_tmp (fun path ->
+      let before = supervised_tasks () in
+      (match
+         Checkpoint.sweep_batched ~path ~signature:"crashy" ~resume:false
+           ~block:4 ~abort_after:8 ~domains:3 ~chunk:2
+           ~arena:(fun () -> ())
+           ~encode ~decode ~rng:(Prng.create seed) ~n crashy
+       with
+      | _ -> Alcotest.fail "abort_after should interrupt"
+      | exception Checkpoint.Interrupted { completed_now; _ } ->
+          Alcotest.(check int) "killed at a block boundary" 8 completed_now);
+      let vals, rep =
+        Checkpoint.sweep_batched ~path ~signature:"crashy" ~block:4 ~domains:1
+          ~chunk:9
+          ~arena:(fun () -> ())
+          ~encode ~decode ~rng:(Prng.create seed) ~n crashy
+      in
+      Alcotest.(check int) "restored" 8 rep.Checkpoint.resumed;
+      Alcotest.(check bool) "crashes recovered in the resume" true
+        (rep.Checkpoint.crashes > 0 && rep.Checkpoint.restarts > 0);
+      Alcotest.(check bool) "crashy kill + resume bit-identical" true
+        (vals = Lazy.force expected);
+      Alcotest.(check int) "exactly-once despite restarts" n
+        (supervised_tasks () - before))
+
+let test_arena_scratch_does_not_leak_into_snapshots () =
+  (* An arena-mutating trial: per-domain scratch must not perturb the
+     checkpointed payloads at any setting. *)
+  let scratchy acc ctx =
+    acc := !acc + ctx.Pool.index;
+    trial ctx
+  in
+  List.iter
+    (fun domains ->
+      let vals, _ =
+        Checkpoint.sweep_batched ~domains ~chunk:3
+          ~arena:(fun () -> ref 0)
+          ~encode ~decode ~rng:(Prng.create seed) ~n scratchy
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d arena scratch invisible" domains)
+        true
+        (vals = Lazy.force expected))
+    domains_grid
+
+let suite =
+  [
+    Alcotest.test_case "bcheckpoint: batched sweep = unbatched sweep" `Quick
+      test_batched_matches_unbatched;
+    Alcotest.test_case "bcheckpoint: snapshot bytes identical" `Quick
+      test_batched_snapshots_match_unbatched;
+    Alcotest.test_case "bcheckpoint: kill at every block boundary + resume"
+      `Quick test_kill_at_block_boundary_resume_identical;
+    Alcotest.test_case "bcheckpoint: crashes + kill + resume exactly once"
+      `Quick test_kill_resume_with_crashes_exactly_once;
+    Alcotest.test_case "bcheckpoint: arena scratch invisible" `Quick
+      test_arena_scratch_does_not_leak_into_snapshots;
+  ]

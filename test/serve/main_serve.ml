@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "dcs-serve"
+    [
+      ("traffic", Test_straffic.suite);
+      ("serve", Test_sserve.suite);
+    ]

@@ -1,0 +1,123 @@
+(* Traffic generator: deterministic open-loop traces with the documented
+   shape — nondecreasing arrivals, sequential seqs, in-range keys, hot-key
+   skew, and denser arrivals inside burst windows. *)
+
+open Dcs
+
+let base =
+  {
+    Traffic.keys = 16;
+    Traffic.hot_keys = 4;
+    Traffic.hot_fraction = 0.9;
+    Traffic.mean_gap = 8;
+    Traffic.burst_every = 0;
+    Traffic.burst_len = 0;
+    Traffic.burst_factor = 1;
+    Traffic.deadline = 500;
+  }
+
+let test_generate_deterministic () =
+  let a = Traffic.generate (Prng.create 77) base ~n:500 in
+  let b = Traffic.generate (Prng.create 77) base ~n:500 in
+  Alcotest.(check bool) "same seed, same trace" true (a = b);
+  let c = Traffic.generate (Prng.create 78) base ~n:500 in
+  Alcotest.(check bool) "different seed, different trace" true (a <> c)
+
+let test_generate_shape () =
+  let reqs = Traffic.generate (Prng.create 3) base ~n:1_000 in
+  Alcotest.(check int) "length" 1_000 (Array.length reqs);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) "seq is the position" i r.Traffic.seq;
+      Alcotest.(check bool) "key in range" true
+        (r.Traffic.key >= 0 && r.Traffic.key < base.Traffic.keys);
+      Alcotest.(check int) "deadline carried" base.Traffic.deadline
+        r.Traffic.deadline;
+      if i > 0 then
+        Alcotest.(check bool) "arrivals nondecreasing" true
+          (r.Traffic.arrival >= reqs.(i - 1).Traffic.arrival))
+    reqs
+
+let test_hot_key_skew () =
+  let reqs = Traffic.generate (Prng.create 9) base ~n:4_000 in
+  let hot =
+    Array.fold_left
+      (fun acc r -> if r.Traffic.key < base.Traffic.hot_keys then acc + 1 else acc)
+      0 reqs
+  in
+  (* 90% nominal: anything in [80%, 98%] over 4000 draws is fine. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "hot share %d/4000 near 0.9" hot)
+    true
+    (hot > 3_200 && hot < 3_920);
+  (* hot_fraction 1.0 pins every key into the hot set. *)
+  let all_hot =
+    Traffic.generate (Prng.create 9)
+      { base with Traffic.hot_fraction = 1.0 }
+      ~n:500
+  in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "only hot keys" true
+        (r.Traffic.key < base.Traffic.hot_keys))
+    all_hot
+
+let test_bursts_densify_arrivals () =
+  let cfg =
+    {
+      base with
+      Traffic.burst_every = 1_000;
+      Traffic.burst_len = 200;
+      Traffic.burst_factor = 8;
+    }
+  in
+  let reqs = Traffic.generate (Prng.create 4) cfg ~n:20_000 in
+  (* Mean inter-arrival gap measured separately inside and outside burst
+     windows: the burst side must be several times denser. *)
+  let sum_in = ref 0 and n_in = ref 0 and sum_out = ref 0 and n_out = ref 0 in
+  for i = 1 to Array.length reqs - 1 do
+    let gap = reqs.(i).Traffic.arrival - reqs.(i - 1).Traffic.arrival in
+    if Traffic.in_burst cfg reqs.(i).Traffic.arrival then begin
+      sum_in := !sum_in + gap;
+      incr n_in
+    end
+    else begin
+      sum_out := !sum_out + gap;
+      incr n_out
+    end
+  done;
+  Alcotest.(check bool) "both regimes sampled" true (!n_in > 100 && !n_out > 100);
+  let mean_in = float !sum_in /. float !n_in
+  and mean_out = float !sum_out /. float !n_out in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst gap %.2f well under steady %.2f" mean_in mean_out)
+    true
+    (mean_in *. 3. < mean_out)
+
+let test_validate_rejects () =
+  let bad msg cfg =
+    Alcotest.(check bool) msg true
+      (try
+         Traffic.validate cfg;
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "hot_keys > keys" { base with Traffic.hot_keys = 17 };
+  bad "hot_keys < 1" { base with Traffic.hot_keys = 0 };
+  bad "hot_fraction > 1" { base with Traffic.hot_fraction = 1.5 };
+  bad "mean_gap < 1" { base with Traffic.mean_gap = 0 };
+  bad "burst_factor < 1" { base with Traffic.burst_factor = 0 };
+  bad "deadline < 1" { base with Traffic.deadline = 0 };
+  Traffic.validate base;
+  Traffic.validate Traffic.default
+
+let suite =
+  [
+    Alcotest.test_case "traffic: generate deterministic" `Quick
+      test_generate_deterministic;
+    Alcotest.test_case "traffic: trace shape" `Quick test_generate_shape;
+    Alcotest.test_case "traffic: hot-key skew" `Quick test_hot_key_skew;
+    Alcotest.test_case "traffic: bursts densify arrivals" `Quick
+      test_bursts_densify_arrivals;
+    Alcotest.test_case "traffic: validate rejects" `Quick test_validate_rejects;
+  ]

@@ -122,6 +122,43 @@ let test_retry_exhausts_budget () =
     (Invalid_argument "Retry.with_budget: budget must be >= 1") (fun () ->
       ignore (Retry.with_budget ~budget:0 (fun ~attempt:_ -> Some ())))
 
+let test_jittered_wait_bounds () =
+  let rng = Prng.create 11 in
+  (* attempt 0 waits in [1, base]; the exponential clamps at cap. *)
+  for attempt = 0 to 12 do
+    let w = Retry.jittered_wait ~rng ~base:2 ~cap:10 ~attempt in
+    let hi = min 10 (2 * (1 lsl attempt)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d wait %d in [1, %d]" attempt w hi)
+      true
+      (w >= 1 && w <= hi)
+  done;
+  (* rng is not advanced: the same stream position replays the schedule. *)
+  let a = Retry.jittered_wait ~rng ~base:1 ~cap:64 ~attempt:5 in
+  let b = Retry.jittered_wait ~rng ~base:1 ~cap:64 ~attempt:5 in
+  Alcotest.(check int) "pure per (stream, attempt)" a b
+
+let test_jittered_backoff_schedule () =
+  let rng = Prng.create 12 in
+  (* Success on the first call: no waits at all. *)
+  let out = Retry.with_jittered_backoff ~budget:5 ~rng (fun ~attempt:_ -> Some 1) in
+  Alcotest.(check int) "no backoff" 0 out.Retry.backoff_units;
+  (* All failures: exactly the sum of the per-attempt jittered waits for
+     the retried attempts (the final failure is not retried). *)
+  let out = Retry.with_jittered_backoff ~budget:4 ~base:2 ~cap:8 ~rng (fun ~attempt:_ -> None) in
+  let expected = ref 0 in
+  for a = 0 to 2 do
+    expected := !expected + Retry.jittered_wait ~rng ~base:2 ~cap:8 ~attempt:a
+  done;
+  Alcotest.(check (option unit)) "no value" None out.Retry.value;
+  Alcotest.(check int) "attempts = budget" 4 out.Retry.attempts;
+  Alcotest.(check int) "backoff = replayed waits" !expected out.Retry.backoff_units;
+  Alcotest.check_raises "budget >= 1"
+    (Invalid_argument "Retry.with_jittered_backoff: budget must be >= 1")
+    (fun () ->
+      ignore
+        (Retry.with_jittered_backoff ~budget:0 ~rng (fun ~attempt:_ -> Some ())))
+
 let test_majority_recovers_truth () =
   (* 2 honest votes out of 3 beat one lie. *)
   let votes = [| Some 9; Some 4; Some 9 |] in
@@ -204,6 +241,79 @@ let test_lossy_retransmission_metered_separately () =
   Alcotest.(check int) "first-send" 100 (Channel.first_send_bits l);
   Alcotest.(check int) "retransmit" 200 (Channel.retransmit_bits l)
 
+(* --- transmit_reliable: the bounded retransmission loop --- *)
+
+let gave_up_counter () = Obs.Metrics.counter "channel.gave_up"
+
+let test_reliable_clean_first_try () =
+  let before = Obs.Metrics.counter_value (gave_up_counter ()) in
+  let l = Channel.create_lossy Fault.disabled in
+  (match Channel.transmit_reliable l ~max_retransmissions:3 ~bits:80 "frame" with
+  | Ok p -> Alcotest.(check string) "delivered verbatim" "frame" p
+  | Error _ -> Alcotest.fail "gave up without faults");
+  Alcotest.(check int) "one send" 80 (Channel.first_send_bits l);
+  Alcotest.(check int) "no retransmissions" 0 (Channel.retransmit_bits l);
+  Alcotest.(check int) "gave_up not bumped" before
+    (Obs.Metrics.counter_value (gave_up_counter ()))
+
+let test_reliable_gives_up_typed () =
+  let before = Obs.Metrics.counter_value (gave_up_counter ()) in
+  let rng = Prng.create 21 in
+  let l = Channel.create_lossy (Fault.create (Fault.policy ~drop:1.0 ()) rng) in
+  (match Channel.transmit_reliable l ~max_retransmissions:3 ~bits:64 "x" with
+  | Ok _ -> Alcotest.fail "delivered through a dead link"
+  | Error gu ->
+      Alcotest.(check int) "first send + 3 re-sends" 4 gu.Channel.transmissions;
+      Alcotest.(check int) "all dropped" 4 gu.Channel.gu_drops;
+      Alcotest.(check int) "none corrupted" 0 gu.Channel.gu_corruptions);
+  Alcotest.(check int) "first-send metered once" 64 (Channel.first_send_bits l);
+  Alcotest.(check int) "re-sends metered" (3 * 64) (Channel.retransmit_bits l);
+  Alcotest.(check int) "channel.gave_up bumped once" (before + 1)
+    (Obs.Metrics.counter_value (gave_up_counter ()));
+  Alcotest.check_raises "bound must be nonnegative"
+    (Invalid_argument
+       "Channel.transmit_reliable: max_retransmissions must be >= 0") (fun () ->
+      ignore (Channel.transmit_reliable l ~max_retransmissions:(-1) ~bits:1 "x"))
+
+let test_reliable_verify_rejects_corruption () =
+  let rng = Prng.create 22 in
+  let l =
+    Channel.create_lossy (Fault.create (Fault.policy ~corrupt:1.0 ()) rng)
+  in
+  let framed = Checksum.frame "payload" in
+  (* Every delivery is corrupted and the CRC check refuses each one. *)
+  (match
+     Channel.transmit_reliable l
+       ~verify:(fun s -> Result.is_ok (Checksum.unframe s))
+       ~max_retransmissions:2
+       ~bits:(8 * String.length framed)
+       framed
+   with
+  | Ok _ -> Alcotest.fail "verify accepted a corrupted frame"
+  | Error gu ->
+      Alcotest.(check int) "transmissions" 3 gu.Channel.transmissions;
+      Alcotest.(check int) "all failed verify" 3 gu.Channel.gu_corruptions);
+  (* Without verify, a corrupted delivery is accepted as-is. *)
+  match Channel.transmit_reliable l ~max_retransmissions:2 ~bits:8 "abc" with
+  | Ok p -> Alcotest.(check bool) "corrupted accepted" true (p <> "abc")
+  | Error _ -> Alcotest.fail "unverified delivery refused"
+
+let test_reliable_max_zero_single_shot () =
+  let rng = Prng.create 23 in
+  (* drop 0.5: with zero retransmissions each call is a single coin flip. *)
+  let l = Channel.create_lossy (Fault.create (Fault.policy ~drop:0.5 ()) rng) in
+  let oks = ref 0 and give_ups = ref 0 in
+  for _ = 1 to 200 do
+    match Channel.transmit_reliable l ~max_retransmissions:0 ~bits:8 "b" with
+    | Ok _ -> incr oks
+    | Error gu ->
+        Alcotest.(check int) "single transmission" 1 gu.Channel.transmissions;
+        incr give_ups
+  done;
+  Alcotest.(check int) "every call resolved" 200 (!oks + !give_ups);
+  Alcotest.(check int) "no retransmit bits" 0 (Channel.retransmit_bits l);
+  Alcotest.(check bool) "both outcomes occur" true (!oks > 0 && !give_ups > 0)
+
 (* --- qcheck properties (ISSUE satellite: single-bit detection, budget) --- *)
 
 let flip_bit s i =
@@ -261,6 +371,54 @@ let prop_retry_within_budget =
       && out.Retry.attempts = !calls
       && (out.Retry.value <> None) = (first_success < budget))
 
+(* Jittered backoff: same budget guarantee, plus the wait-sum cap. *)
+let prop_jittered_backoff_within_budgets =
+  QCheck.Test.make
+    ~name:"jittered backoff never exceeds attempt or backoff budgets"
+    ~count:200
+    QCheck.(
+      quad (int_range 1 8) (int_range 0 12) (int_range 1 4) (int_range 1 32))
+    (fun (budget, first_success, base, cap) ->
+      let rng = Prng.create (budget + (31 * first_success) + (977 * cap)) in
+      let calls = ref 0 in
+      let out =
+        Retry.with_jittered_backoff ~budget ~base ~cap ~rng (fun ~attempt ->
+            incr calls;
+            if attempt >= first_success then Some attempt else None)
+      in
+      !calls <= budget
+      && out.Retry.attempts = !calls
+      && (out.Retry.value <> None) = (first_success < budget)
+      && out.Retry.backoff_units >= 0
+      && out.Retry.backoff_units <= (budget - 1) * cap)
+
+(* Bounded reliable delivery: bounded sends, and every loss accounted. *)
+let prop_transmit_reliable_bounded =
+  QCheck.Test.make
+    ~name:"transmit_reliable sends at most 1 + max_retransmissions"
+    ~count:200
+    QCheck.(
+      quad (int_range 0 5) (float_range 0.0 1.0) (float_range 0.0 1.0)
+        (int_range 0 1_000_000))
+    (fun (max_retransmissions, drop, corrupt, seed) ->
+      let rng = Prng.create seed in
+      let l =
+        Channel.create_lossy (Fault.create (Fault.policy ~drop ~corrupt ()) rng)
+      in
+      let framed = Checksum.frame "prop payload" in
+      match
+        Channel.transmit_reliable l
+          ~verify:(fun s -> Result.is_ok (Checksum.unframe s))
+          ~max_retransmissions
+          ~bits:(8 * String.length framed)
+          framed
+      with
+      | Ok p -> Result.is_ok (Checksum.unframe p)
+      | Error gu ->
+          gu.Channel.transmissions = max_retransmissions + 1
+          && gu.Channel.gu_drops + gu.Channel.gu_corruptions
+             = gu.Channel.transmissions)
+
 let suite =
   [
     Alcotest.test_case "checksum: crc32 check value" `Quick test_crc32_check_value;
@@ -274,12 +432,20 @@ let suite =
     Alcotest.test_case "retry: first try" `Quick test_retry_first_try;
     Alcotest.test_case "retry: backoff arithmetic" `Quick test_retry_backoff_arithmetic;
     Alcotest.test_case "retry: exhausts budget" `Quick test_retry_exhausts_budget;
+    Alcotest.test_case "retry: jittered wait bounds" `Quick test_jittered_wait_bounds;
+    Alcotest.test_case "retry: jittered backoff schedule" `Quick test_jittered_backoff_schedule;
     Alcotest.test_case "majority: recovers truth" `Quick test_majority_recovers_truth;
     Alcotest.test_case "majority: tie first-seen" `Quick test_majority_tie_first_seen;
     Alcotest.test_case "lossy: no faults transparent" `Quick test_lossy_no_faults_transparent;
     Alcotest.test_case "lossy: drop rate 1" `Quick test_lossy_drop_rate_one;
     Alcotest.test_case "lossy: corrupt flips one bit" `Quick test_lossy_corrupt_flips_one_bit;
     Alcotest.test_case "lossy: retransmission metered" `Quick test_lossy_retransmission_metered_separately;
+    Alcotest.test_case "reliable: clean first try" `Quick test_reliable_clean_first_try;
+    Alcotest.test_case "reliable: typed give-up" `Quick test_reliable_gives_up_typed;
+    Alcotest.test_case "reliable: verify rejects corruption" `Quick test_reliable_verify_rejects_corruption;
+    Alcotest.test_case "reliable: zero bound single shot" `Quick test_reliable_max_zero_single_shot;
     QCheck_alcotest.to_alcotest prop_frame_detects_every_single_bit_flip;
     QCheck_alcotest.to_alcotest prop_retry_within_budget;
+    QCheck_alcotest.to_alcotest prop_jittered_backoff_within_budgets;
+    QCheck_alcotest.to_alcotest prop_transmit_reliable_bounded;
   ]

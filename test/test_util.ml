@@ -330,6 +330,67 @@ let test_table_formats () =
   Alcotest.(check string) "float" "1.500" (Table.ffloat 1.5);
   Alcotest.(check string) "bool" "yes" (Table.fbool true)
 
+(* --- Token_bucket --- *)
+
+let test_bucket_burst_then_starve () =
+  (* Full bucket: the burst drains capacity, then refill gates admission. *)
+  let b = Token_bucket.create ~capacity:4 ~rate_num:1 ~rate_den:2 () in
+  for i = 1 to 4 do
+    Alcotest.(check bool) (Printf.sprintf "burst take %d" i) true
+      (Token_bucket.try_take b ~now:0)
+  done;
+  Alcotest.(check bool) "empty at tick 0" false (Token_bucket.try_take b ~now:0);
+  (* 1/2 token per tick: tick 1 has half a token, tick 2 a whole one. *)
+  Alcotest.(check bool) "half token refused" false (Token_bucket.try_take b ~now:1);
+  Alcotest.(check bool) "whole token admitted" true (Token_bucket.try_take b ~now:2);
+  Alcotest.(check bool) "and spent" false (Token_bucket.try_take b ~now:2)
+
+let test_bucket_clamps_at_capacity () =
+  let b = Token_bucket.create ~initial:0 ~capacity:3 ~rate_num:1 ~rate_den:1 () in
+  (* A long idle stretch cannot bank more than [capacity] tokens. *)
+  Alcotest.(check int) "clamped" 3 (Token_bucket.tokens b ~now:1_000);
+  Alcotest.(check int) "capacity" 3 (Token_bucket.capacity b);
+  for i = 1 to 3 do
+    Alcotest.(check bool) (Printf.sprintf "take %d" i) true
+      (Token_bucket.try_take b ~now:1_000)
+  done;
+  Alcotest.(check bool) "no fourth" false (Token_bucket.try_take b ~now:1_000)
+
+let test_bucket_validates () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Token_bucket.create: capacity must be >= 1") (fun () ->
+      ignore (Token_bucket.create ~capacity:0 ~rate_num:1 ~rate_den:1 ()));
+  Alcotest.check_raises "initial"
+    (Invalid_argument "Token_bucket.create: initial must be in [0, capacity]")
+    (fun () ->
+      ignore
+        (Token_bucket.create ~initial:5 ~capacity:4 ~rate_num:1 ~rate_den:1 ()));
+  let b = Token_bucket.create ~capacity:1 ~rate_num:1 ~rate_den:1 () in
+  ignore (Token_bucket.try_take b ~now:10);
+  Alcotest.check_raises "monotone clock"
+    (Invalid_argument "Token_bucket: the virtual clock must not move backwards")
+    (fun () -> ignore (Token_bucket.try_take b ~now:9))
+
+(* Admissions over any nondecreasing arrival sequence never exceed
+   initial + elapsed * rate, and an admission implies a token existed. *)
+let prop_bucket_never_overspends =
+  QCheck.Test.make ~name:"token bucket never admits beyond its refill"
+    ~count:200
+    QCheck.(
+      pair
+        (pair (int_range 1 8) (pair (int_range 0 3) (int_range 1 4)))
+        (small_list (int_range 0 5)))
+    (fun ((capacity, (rate_num, rate_den)), gaps) ->
+      let b = Token_bucket.create ~capacity ~rate_num ~rate_den () in
+      let now = ref 0 and admitted = ref 0 in
+      List.iter
+        (fun gap ->
+          now := !now + gap;
+          if Token_bucket.try_take b ~now:!now then incr admitted)
+        gaps;
+      (* capacity head start plus what the refill could have produced. *)
+      !admitted <= capacity + ((!now * rate_num) / rate_den))
+
 let suite =
   [
     Alcotest.test_case "prng: determinism" `Quick test_determinism;
@@ -366,6 +427,10 @@ let suite =
     Alcotest.test_case "table: renders" `Quick test_table_renders;
     Alcotest.test_case "table: row mismatch" `Quick test_table_row_mismatch;
     Alcotest.test_case "table: cell formats" `Quick test_table_formats;
+    Alcotest.test_case "bucket: burst then starve" `Quick test_bucket_burst_then_starve;
+    Alcotest.test_case "bucket: clamps at capacity" `Quick test_bucket_clamps_at_capacity;
+    Alcotest.test_case "bucket: validates" `Quick test_bucket_validates;
+    QCheck_alcotest.to_alcotest prop_bucket_never_overspends;
     QCheck_alcotest.to_alcotest prop_gamma_write_matches_size;
     QCheck_alcotest.to_alcotest prop_bits_for_range_tight;
     QCheck_alcotest.to_alcotest prop_bits_counter_additive;
