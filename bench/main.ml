@@ -50,6 +50,7 @@ let experiments =
     ("E19", "Representation: frozen CSR vs hashtable adjacency", false, Exp_repr.run);
     ("E20", "Batched kernels + chunked pool: multicore throughput", false, Exp_batched.run);
     ("E21", "dcutd serving layer: admission control + degradation", false, Exp_serve.run);
+    ("E22", "Streaming ingest: WAL recovery + adversarial tolerance", false, Exp_stream.run);
   ]
 
 let json_path : string option ref = ref None

@@ -37,10 +37,20 @@
 # supervised restarts, checkpoint corruption recovery and stragglers all
 # have to produce the same tables at every domain count.
 #
+# E22 is in the default set because it is the streaming chaos battery:
+# WAL recovery digests, adversarial replay accounting, the streamed-vs-
+# batch E3/E4 decode reruns and the live-mutation serving table must all
+# come out byte-identical at every domain count.
+#
 # The gate also runs a kill-then-resume cycle on E16 (the checkpoint-aware
 # sweep) at DCS_DOMAINS=1, 2 and 4: the run is interrupted by --abort-after
 # (exit 3, snapshots on disk), restarted with --resume, and the combined
-# stdout must be byte-identical to an uninterrupted run's.
+# stdout must be byte-identical to an uninterrupted run's. E22 gets the
+# same treatment through its WAL-backed journal (DCS_STREAM_DIR /
+# DCS_STREAM_KILL): the journaled ingest is killed at a record boundary
+# mid-stream (exit 3), reopened in the same directory — snapshot restore
+# plus WAL replay — and the finished run's stdout must be byte-identical
+# to an uninterrupted run's.
 #
 # Finally it runs E18 (the instrumented profiling pass) with DCS_METRICS
 # pointing at a snapshot file, at DCS_DOMAINS=1, 2 and 4, and diffs the
@@ -52,11 +62,11 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4 E16 E17 E19 E20 E21}"
+experiments="${*:-E3 E4 E16 E17 E19 E20 E21 E22}"
 domain_counts="1 2 4"
 
-echo "== building (bench, tests, @batched kernel suite, @serve suite) =="
-dune build bench/main.exe test/main.exe @batched @serve
+echo "== building (bench, tests, @batched kernel suite, @serve suite, @stream suite) =="
+dune build bench/main.exe test/main.exe @batched @serve @stream
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -112,6 +122,37 @@ for d in 1 2 4; do
 done
 echo "kill-then-resume cycle byte-identical at DCS_DOMAINS=1, 2 and 4"
 
+echo "== WAL kill-then-replay cycle (E22, DCS_STREAM_KILL=20) =="
+DCS_DOMAINS=1 DCS_STREAM_DIR="$tmpdir/wal_ref" \
+    dune exec --no-build bench/main.exe -- --only E22 2> /dev/null \
+    | grep -v ' done in ' > "$tmpdir/wal_ref.out"
+for d in 1 2 4; do
+    wal="$tmpdir/wal_d$d"
+    # Phase 1: kill the journaled ingest after 20 fresh records. Exit 3
+    # means "interrupted at a record boundary, WAL flushed"; anything
+    # else is a failure of the crash plumbing.
+    status=0
+    DCS_DOMAINS="$d" DCS_STREAM_DIR="$wal" DCS_STREAM_KILL=20 \
+        dune exec --no-build bench/main.exe -- --only E22 \
+        > /dev/null 2> /dev/null || status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "FAIL: DCS_STREAM_KILL exited with $status (want 3) at DCS_DOMAINS=$d" >&2
+        exit 1
+    fi
+    # Phase 2: reopen the same journal directory — snapshot restore plus
+    # WAL replay — and finish the stream; stdout must match the
+    # uninterrupted reference byte for byte.
+    DCS_DOMAINS="$d" DCS_STREAM_DIR="$wal" \
+        dune exec --no-build bench/main.exe -- --only E22 2> /dev/null \
+        | grep -v ' done in ' > "$tmpdir/wal_resumed_d$d.out"
+    if ! diff -u "$tmpdir/wal_ref.out" "$tmpdir/wal_resumed_d$d.out"; then
+        echo "FAIL: WAL-replayed run diverges from uninterrupted run at DCS_DOMAINS=$d" >&2
+        exit 1
+    fi
+    echo "  DCS_DOMAINS=$d: killed at a record boundary (exit 3), replayed, byte-identical"
+done
+echo "WAL kill-then-replay cycle byte-identical at DCS_DOMAINS=1, 2 and 4"
+
 echo "== metrics snapshots (E18, DCS_METRICS) =="
 for d in 1 2 4; do
     DCS_DOMAINS="$d" DCS_METRICS="$tmpdir/metrics_d$d.json" \
@@ -135,6 +176,11 @@ echo "== serving-layer suite (@serve) with DCS_DOMAINS=1 and 4 =="
 DCS_DOMAINS=1 dune exec --no-build test/serve/main_serve.exe > /dev/null
 DCS_DOMAINS=4 dune exec --no-build test/serve/main_serve.exe > /dev/null
 echo "serving-layer suite green at DCS_DOMAINS=1 and 4"
+
+echo "== streaming suite (@stream) with DCS_DOMAINS=1 and 4 =="
+DCS_DOMAINS=1 dune exec --no-build test/stream/main_stream.exe > /dev/null
+DCS_DOMAINS=4 dune exec --no-build test/stream/main_stream.exe > /dev/null
+echo "streaming suite green at DCS_DOMAINS=1 and 4"
 
 echo "== test suite with DCS_DOMAINS=1 =="
 DCS_DOMAINS=1 dune exec --no-build test/main.exe

@@ -42,6 +42,15 @@
     - {!Partition}, {!Coordinator} — the ACK+16 pipeline from the
       introduction.
 
+    {1 Streaming ingest}
+
+    - {!L0_sampler}, {!Agm_sketch} — classic turnstile primitives.
+    - {!Wal}, {!Stream_sketch} — crash-consistent insert/delete edge
+      streams: CRC-framed write-ahead logging with typed quarantine of
+      damaged records, checkpoint-compacted recovery that reproduces the
+      pre-kill sketch state bit for bit, and incremental maintenance of
+      the for-each machinery atop {!Csr} delta overlays.
+
     {1 Serving}
 
     - {!Traffic}, {!Serve} — [dcutd]'s long-lived cut-query serving layer:
@@ -129,6 +138,8 @@ module Spectral_sparsifier = Dcs_spectral.Spectral_sparsifier
 
 module L0_sampler = Dcs_stream.L0_sampler
 module Agm_sketch = Dcs_stream.Agm_sketch
+module Wal = Dcs_stream.Wal
+module Stream_sketch = Dcs_stream.Stream_sketch
 
 module Partition = Dcs_distributed.Partition
 module Coordinator = Dcs_distributed.Coordinator

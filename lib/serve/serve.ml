@@ -160,6 +160,7 @@ let m_deadline = Metrics.counter "serve.deadline_exceeded"
 let m_cache_hits = Metrics.counter "serve.cache_hits"
 let m_cache_misses = Metrics.counter "serve.cache_misses"
 let m_cache_evictions = Metrics.counter "serve.cache_evictions"
+let m_cache_invalidations = Metrics.counter "serve.cache_invalidations"
 let m_oracle_retries = Metrics.counter "serve.oracle_retries"
 let m_oracle_exhausted = Metrics.counter "serve.oracle_exhausted"
 let m_backoff = Metrics.counter "serve.backoff_ticks"
@@ -184,6 +185,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_invalidations : int;
   oracle_retries : int;
   oracle_exhausted : int;
   backoff_ticks : int;
@@ -222,6 +224,7 @@ type t = {
   mutable s_hits : int;
   mutable s_misses : int;
   mutable s_evictions : int;
+  mutable s_invalidations : int;
   mutable s_retries : int;
   mutable s_exhausted : int;
   mutable s_backoff : int;
@@ -269,6 +272,7 @@ let create ?domains cfg ~graphs ~rng =
     s_hits = 0;
     s_misses = 0;
     s_evictions = 0;
+    s_invalidations = 0;
     s_retries = 0;
     s_exhausted = 0;
     s_backoff = 0;
@@ -279,6 +283,24 @@ let create ?domains cfg ~graphs ~rng =
   }
 
 let degraded t = t.mode = Degraded
+
+(* Live catalog mutation: the streaming layer re-freezes a graph and swaps
+   it in here. Invalidation is keyed exactly like lookup — by fingerprint —
+   so a stale sketch entry can never answer for the new content; if the
+   content is unchanged (equal fingerprint) the cached sketch stays warm.
+   Control-plane only, like every other cache touch. *)
+let update_graph t ~key csr =
+  if key < 0 || key >= Array.length t.graphs then
+    invalid_arg "Serve.update_graph: key outside the catalog";
+  let old_fp = t.fps.(key) in
+  let fp = Csr.fingerprint csr in
+  t.graphs.(key) <- csr;
+  t.fps.(key) <- fp;
+  if not (Int64.equal fp old_fp) then begin
+    Hashtbl.remove t.cache old_fp;
+    t.s_invalidations <- t.s_invalidations + 1;
+    Metrics.inc m_cache_invalidations
+  end
 
 (* Sketch-cache lookup by graph fingerprint, control-plane only (never
    touched from pool tasks). Returns whether it was a hit; a miss installs
@@ -631,6 +653,7 @@ let stats t =
     cache_hits = t.s_hits;
     cache_misses = t.s_misses;
     cache_evictions = t.s_evictions;
+    cache_invalidations = t.s_invalidations;
     oracle_retries = t.s_retries;
     oracle_exhausted = t.s_exhausted;
     backoff_ticks = t.s_backoff;

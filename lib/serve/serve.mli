@@ -148,6 +148,17 @@ val create : ?domains:int -> config -> graphs:Dcs_graph.Csr.t array -> rng:Dcs_u
 val degraded : t -> bool
 (** Whether the breaker is currently open (serving degraded). *)
 
+val update_graph : t -> key:int -> Dcs_graph.Csr.t -> unit
+(** Swap catalog slot [key] for a re-frozen graph — the live-mutation hook
+    the streaming layer ([Stream_sketch]) calls after ingesting edge
+    updates. The slot's fingerprint is recomputed, and when the content
+    actually changed the stale sketch-cache entry (keyed by the {e old}
+    fingerprint) is removed, metered as [serve.cache_invalidations] — so a
+    cached sketch can never answer for content it no longer matches, while
+    an update that leaves the graph bit-identical keeps the cache warm.
+    Control-plane only; [Invalid_argument] if [key] is outside the
+    catalog. *)
+
 val run : t -> Traffic.request array -> response array
 (** Serve a trace to completion; slot [i] responds to request [i]. The
     trace must have nondecreasing arrivals, keys within the catalog, and
@@ -171,6 +182,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  cache_invalidations : int; (** stale entries removed by [update_graph] *)
   oracle_retries : int;      (** oracle attempts beyond each first *)
   oracle_exhausted : int;    (** retry budgets spent: degraded fallback *)
   backoff_ticks : int;

@@ -26,6 +26,22 @@ val create :
     a strength-sampled projection sketch at accuracy ε/(1+β). Size =
     64·n bits for the imbalances + the projection sample. *)
 
+val of_imbalances :
+  ?c:float ->
+  Dcs_util.Prng.t ->
+  eps:float ->
+  beta:float ->
+  imb:float array ->
+  Dcs_graph.Ugraph.t ->
+  Sketch.t
+(** {!create} from already-maintained parts: the per-vertex imbalance
+    array and the undirected projection. This is the constructor the
+    streaming layer uses — it keeps both pieces incrementally under
+    insert/delete streams and never materializes the digraph. Since the
+    projection is sampled in canonical (sorted-edge) order, the sketch is
+    a pure function of (seed, imbalances, projection content): streamed
+    and batch construction of the same graph agree bit for bit. *)
+
 val imbalances : Dcs_graph.Digraph.t -> float array
 (** out-weight minus in-weight per vertex (Δ of a singleton). *)
 

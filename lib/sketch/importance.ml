@@ -4,20 +4,49 @@ module Digraph = Dcs_graph.Digraph
 
 let clamp p = Float.max 0.0 (Float.min 1.0 p)
 
+(* Sampling consumes the PRNG once per kept-or-rejected edge, so the edge
+   *iteration order* decides which draw lands on which edge. Hashtable
+   order depends on insertion history, which would make two equal graphs
+   built by different routes (batch vs. streamed-and-compacted) sample
+   different subgraphs from the same seed. Sorting the edges first makes
+   the sample a pure function of (seed, graph content). *)
+let sorted_edges_ugraph g =
+  let edges = Array.make (Ugraph.m g) (0, 0, 0.0) in
+  let i = ref 0 in
+  Ugraph.iter_edges g (fun u v w ->
+      edges.(!i) <- (u, v, w);
+      incr i);
+  Array.sort (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d)) edges;
+  edges
+
+let sorted_edges_digraph g =
+  let edges = Array.make (Digraph.m g) (0, 0, 0.0) in
+  let i = ref 0 in
+  Digraph.iter_edges g (fun u v w ->
+      edges.(!i) <- (u, v, w);
+      incr i);
+  Array.sort (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d)) edges;
+  edges
+
 let sample_ugraph rng ~prob g =
   let h = Ugraph.create (Ugraph.n g) in
-  Ugraph.iter_edges g (fun u v w ->
+  Array.iter
+    (fun (u, v, w) ->
       let p = clamp (prob u v w) in
       if p >= 1.0 then Ugraph.add_edge h u v w
-      else if p > 0.0 && Prng.bernoulli rng p then Ugraph.add_edge h u v (w /. p));
+      else if p > 0.0 && Prng.bernoulli rng p then Ugraph.add_edge h u v (w /. p))
+    (sorted_edges_ugraph g);
   h
 
 let sample_digraph rng ~prob g =
   let h = Digraph.create (Digraph.n g) in
-  Digraph.iter_edges g (fun u v w ->
+  Array.iter
+    (fun (u, v, w) ->
       let p = clamp (prob u v w) in
       if p >= 1.0 then Digraph.add_edge h u v w
-      else if p > 0.0 && Prng.bernoulli rng p then Digraph.add_edge h u v (w /. p));
+      else if p > 0.0 && Prng.bernoulli rng p then
+        Digraph.add_edge h u v (w /. p))
+    (sorted_edges_digraph g);
   h
 
 let expected_edges_ugraph ~prob g =

@@ -24,19 +24,37 @@ let compute ?(max_rounds = 512) g =
   Ugraph.iter_edges g (fun u v w ->
       let mult = max 1 (int_of_float (Float.round w)) in
       Hashtbl.replace live (key u v) mult);
+  (* Forest construction is greedy, so the edge order decides which edges
+     each spanning forest grabs. Iterating [live] directly would make the
+     strength indices depend on hashtable history; walking a sorted edge
+     array makes them a pure function of graph content — required for
+     streamed-and-compacted graphs to sample identically to batch ones. *)
+  let all_edges =
+    let a = Array.make (Hashtbl.length live) (0, 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun e _ ->
+        a.(!i) <- e;
+        incr i)
+      live;
+    Array.sort compare a;
+    a
+  in
   let round = ref 0 in
   while Hashtbl.length live > 0 && !round < max_rounds do
     incr round;
     let parent = Array.init n (fun i -> i) in
     let used = ref [] in
-    Hashtbl.iter
-      (fun (u, v) _ ->
-        let ru = find parent u and rv = find parent v in
-        if ru <> rv then begin
-          parent.(ru) <- rv;
-          used := (u, v) :: !used
+    Array.iter
+      (fun (u, v) ->
+        if Hashtbl.mem live (u, v) then begin
+          let ru = find parent u and rv = find parent v in
+          if ru <> rv then begin
+            parent.(ru) <- rv;
+            used := (u, v) :: !used
+          end
         end)
-      live;
+      all_edges;
     List.iter
       (fun e ->
         let mult = Hashtbl.find live e in

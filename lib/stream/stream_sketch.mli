@@ -1,0 +1,196 @@
+(** Crash-consistent streaming sketch state over insert/delete edge
+    streams.
+
+    A [Stream_sketch.t] maintains, incrementally and in bounded memory,
+    everything the static pipeline would build from scratch:
+
+    - the graph itself as a frozen {!Dcs_graph.Csr} base plus an unfrozen
+      delta overlay, re-frozen under a configurable {!refreeze} policy
+      ([Rebuild] after every mutation, or [Delta_buffer] with a forced
+      compaction threshold bounding the overlay under memory pressure);
+    - the per-vertex imbalance array of {!Dcs_sketch.Imbalance_sketch},
+      updated in O(1) per mutation;
+    - a family of nonnegative {!L0_sampler}s over arc-presence indicators
+      (±1 on presence toggles), the seed-edge source for for-each
+      sketching of the live graph.
+
+    Everything observable is canonical — cut values, fingerprints and
+    derived sketches are pure functions of (seed, graph content), never of
+    the mutation history that produced it — so a streamed state and a
+    batch build of the final graph agree bit for bit (with the repo's
+    integer/dyadic weight convention making every float sum exact).
+
+    Durability composes {!Wal} (one flushed record per mutation) with
+    {!Dcs_util.Checkpoint}-compacted snapshots: {!recover} restores the
+    last snapshot and replays the log's surviving suffix, reproducing the
+    exact pre-kill state ({!digest}-verified in the E22 chaos battery) at
+    any record-boundary kill, with every damaged/duplicated/reordered
+    record accounted for in the {!Wal.replay_report}. The [stream.*]
+    registry counters meter the whole layer. *)
+
+type refreeze =
+  | Rebuild  (** compact after every mutation: overlay always empty *)
+  | Delta_buffer of { compact_threshold : int }
+      (** accumulate mutations in the overlay, forcing a compaction
+          whenever more than [compact_threshold] arcs are adjusted *)
+
+(** Typed rejection reasons: the streaming analogue of the sampler's
+    below-zero guard. Checked {e before} any state mutates. *)
+type reject =
+  | Out_of_range of { u : int; v : int; n : int }
+  | Self_loop of int
+  | Bad_weight of float
+  | Below_zero of { u : int; v : int; have : float; requested : float }
+
+val pp_reject : reject -> string
+
+exception Rejected of reject
+
+type t
+
+val create : ?refreeze:refreeze -> ?copies:int -> n:int -> seed:int -> unit -> t
+(** Empty state on [n] vertices. [seed] determines the sampler hash
+    family (a pure function of [(seed, n, copies)], so recovery rebuilds
+    a compatible family); [copies] (default 8) is the number of ℓ₀
+    support samplers. Default policy is [Rebuild]. *)
+
+val n : t -> int
+val seed : t -> int
+val refreeze_policy : t -> refreeze
+val arcs : t -> int
+(** Live arcs (exact, maintained by presence toggles). *)
+
+val delta_pairs : t -> int
+(** Arcs currently adjusted in the overlay (0 under [Rebuild]); never
+    exceeds a [Delta_buffer] policy's threshold after a mutation
+    returns. *)
+
+val applied_seq : t -> int
+(** Highest WAL sequence slot folded into this state. *)
+
+val insert : t -> u:int -> v:int -> w:float -> unit
+(** Add weight [w > 0] to arc (u, v). Raises {!Rejected}. *)
+
+val delete : t -> u:int -> v:int -> w:float -> unit
+(** Subtract [w]; deleting below zero raises
+    [Rejected (Below_zero _)] with the held-vs-requested evidence,
+    leaving the state untouched. *)
+
+val apply : t -> op:Wal.op -> u:int -> v:int -> w:float -> (unit, string) result
+(** {!insert}/{!delete} in result form — the shape {!Wal.replay} wants;
+    rejections are reported, metered ([stream.rejects]), and mutate
+    nothing. *)
+
+val edge_weight : t -> int -> int -> float
+val imbalances : t -> float array
+(** Copy of the per-vertex imbalance array (out-weight − in-weight). *)
+
+val cut_weight : t -> (int -> bool) -> float
+(** Directed cut value of the live graph. Never forces a re-freeze: one
+    scan of the frozen base plus O(overlay) corrections, metered as
+    [stream.cut_queries]. Canonical summation order, so the value equals
+    the one a fresh freeze would give, bit for bit (exact-sum weights). *)
+
+val cut_value : t -> Dcs_graph.Cut.t -> float
+
+val frozen : t -> Dcs_graph.Csr.t
+(** The canonical frozen view of the current content, compacting the
+    overlay into a new base first if needed (memoized until the next
+    mutation). *)
+
+val fingerprint : t -> int64
+(** {!Dcs_graph.Csr.fingerprint} of {!frozen} — the serving layer's cache
+    key for the live graph. *)
+
+val to_digraph : t -> Dcs_graph.Digraph.t
+(** Canonical thaw of {!frozen}. *)
+
+val sample_arc : t -> (int * int) option
+(** An arc from the live support, via the first ℓ₀ copy whose query
+    verifies. [None] when the graph is empty (or all copies fail, which
+    has probability exponentially small in [copies]). *)
+
+val exact_sketch : t -> Dcs_sketch.Sketch.t
+(** Exact graph-valued sketch of the live graph — identical (same
+    decisions, same size) to batch-building it on the final graph, which
+    is what the E3/E4 streamed-vs-batch reruns enforce. *)
+
+val imbalance_sketch :
+  ?c:float -> t -> Dcs_util.Prng.t -> eps:float -> beta:float ->
+  Dcs_sketch.Sketch.t
+(** For-each sketch via {!Dcs_sketch.Imbalance_sketch.of_imbalances},
+    fed by the incrementally-maintained imbalances and the canonical
+    projection — bit-identical to a batch build from the same PRNG. *)
+
+val digest : t -> int64
+(** One-word digest of the whole sketch state: canonical graph
+    fingerprint, imbalances, sampler counters and applied sequence,
+    chained through {!Dcs_util.Prng.mix64}. Recovery is correct iff the
+    digest equals the uninterrupted run's — the check E22 enforces at
+    every record-boundary kill. Does not mutate the state. *)
+
+(** {2 Durability} *)
+
+val checkpoint : t -> path:string -> unit
+(** Compact and persist the state (canonical edge list + applied
+    sequence) atomically via {!Dcs_util.Checkpoint.save}; metered as
+    [stream.checkpoint_saves]. *)
+
+type recovery = {
+  state : t;
+  report : Wal.replay_report;
+  snapshot_seq : int;  (** sequence floor restored from the snapshot *)
+}
+
+val recover :
+  ?refreeze:refreeze ->
+  ?copies:int ->
+  n:int ->
+  seed:int ->
+  snapshot:string ->
+  wal:string ->
+  unit ->
+  (recovery, string) result
+(** Rebuild the state: restore the snapshot at [snapshot] (missing file =
+    empty state), then {!Wal.replay} the log at [wal] on top. [Error]
+    only for an unusable snapshot (its diagnostics carry byte offset and
+    expected-vs-actual CRC, via {!Dcs_util.Checkpoint.load}) or an
+    unreadable log — damaged log {e contents} are quarantined in the
+    report instead. Metered as [stream.recoveries]. *)
+
+(** {2 WAL-backed live ingest}
+
+    A [journal] bundles the state with its write-ahead log: every
+    mutation is flushed to the log {e before} it is applied, so a kill at
+    any point loses at most the in-flight record, and {!open_journal}
+    always recovers the exact surviving state. Snapshots compact the log
+    every [checkpoint_every] applied records (plus once at every open, so
+    a damaged tail never sits in front of fresh appends). *)
+
+type journal
+
+val open_journal :
+  ?refreeze:refreeze ->
+  ?copies:int ->
+  ?checkpoint_every:int ->
+  dir:string ->
+  n:int ->
+  seed:int ->
+  unit ->
+  (journal * Wal.replay_report, string) result
+(** Open (creating [dir] if needed) and recover whatever state the
+    directory holds — [dir/snapshot.ckpt] plus [dir/wal.log]; the report
+    says what the log replay found. [checkpoint_every = 0] (default)
+    means only open-time snapshots. *)
+
+val journal_state : journal -> t
+val journal_insert : journal -> u:int -> v:int -> w:float -> (unit, string) result
+val journal_delete : journal -> u:int -> v:int -> w:float -> (unit, string) result
+(** Log (write-ahead, flushed whole), then apply. A rejected op stays in
+    the log — its sequence slot is consumed and accounted — but mutates
+    nothing. *)
+
+val journal_checkpoint : journal -> unit
+(** Force a compaction snapshot now and truncate the log. *)
+
+val close_journal : journal -> unit

@@ -30,7 +30,12 @@ val load :
   path:string -> signature:string -> (record list, string) result
 (** The snapshot's records, or a diagnostic: missing/unreadable file,
     frame damage (any bit flip or truncation), malformed body, or
-    signature mismatch. Never raises on bad file contents. *)
+    signature mismatch. Never raises on bad file contents. Frame-damage
+    diagnostics are forensic, not just a bare invalid-snapshot signal:
+    a checksum failure reports the body's byte offset and the
+    expected-vs-actual CRC-32, truncation reports promised-vs-found
+    lengths (see {!Checksum.unframe}), so quarantine reports name where
+    and how the snapshot went bad. *)
 
 (** {2 Resumable supervised sweeps} *)
 

@@ -31,12 +31,21 @@ let unframe s =
       | [ "DCS1"; len; crc ] -> (
           match int_of_string_opt len with
           | Some len ->
-              if String.length body <> len then Error "frame: length mismatch"
+              if String.length body <> len then
+                Error
+                  (Printf.sprintf
+                     "frame: length mismatch (body at byte offset %d: header \
+                      promises %d bytes, found %d)"
+                     (nl + 1) len (String.length body))
                 (* Compare against the canonical rendering, not the parsed
                    value: hex parsing is case-insensitive, so a bit flip
                    turning 'a' into 'A' would otherwise slip through. *)
               else if Printf.sprintf "%08x" (crc32 body) <> crc then
-                Error "frame: checksum mismatch"
+                Error
+                  (Printf.sprintf
+                     "frame: checksum mismatch (body at byte offset %d, %d \
+                      bytes: expected crc %s, actual %08x)"
+                     (nl + 1) len crc (crc32 body))
               else Ok body
           | None -> Error "frame: unparsable header fields")
       | _ -> Error "frame: bad magic")

@@ -27,4 +27,9 @@ val frame : string -> string
 (** [frame payload] is ["DCS1 <len> <crc32-hex>\n" ^ payload]. *)
 
 val unframe : string -> (string, string) result
-(** Payload if the frame is intact, otherwise a diagnostic ([Error]). *)
+(** Payload if the frame is intact, otherwise a diagnostic ([Error]).
+    Length and checksum failures carry the body's byte offset within the
+    frame plus the expected-vs-actual evidence (promised vs. found length;
+    header CRC vs. CRC actually computed over the body), so a caller
+    quarantining a damaged record can report {e where} and {e how} it
+    failed, not just that it did. *)

@@ -102,6 +102,46 @@ let test_cache_thrash_evicts () =
   Alcotest.(check int) "lookups = computed requests" s.Serve.answered
     (s.Serve.cache_hits + s.Serve.cache_misses)
 
+let test_update_graph_invalidates () =
+  let gs = Array.copy (Lazy.force graphs) in
+  let srv = Serve.create Serve.default_config ~graphs:gs ~rng:(Prng.create 11) in
+  (* Warm the cache on key 0. *)
+  let reqs1 = trace (List.init 8 (fun i -> (i * 50, 0))) in
+  let responses1 = Serve.run srv reqs1 in
+  let s1 = Serve.stats srv in
+  Alcotest.(check int) "warm: one miss" 1 s1.Serve.cache_misses;
+  Alcotest.(check int) "nothing invalidated yet" 0 s1.Serve.cache_invalidations;
+  (* Mutate key 0 through the streaming layer: rebuild it as an edge
+     stream, ingest a new arc, and swap the re-frozen view into the live
+     catalog. *)
+  let t = Stream_sketch.create ~n:(Csr.n gs.(0)) ~seed:7 () in
+  Digraph.iter_edges (Csr.to_digraph gs.(0)) (fun u v w ->
+      Stream_sketch.insert t ~u ~v ~w);
+  Stream_sketch.insert t ~u:0 ~v:1 ~w:5.0;
+  Serve.update_graph srv ~key:0 (Stream_sketch.frozen t);
+  gs.(0) <- Stream_sketch.frozen t;
+  let s2 = Serve.stats srv in
+  Alcotest.(check int) "stale sketch invalidated" 1 s2.Serve.cache_invalidations;
+  (* The next run re-misses once (the stale entry is gone) and serves the
+     NEW content — accuracy is checked against the updated graph. *)
+  let base = s2.Serve.clock + 1 in
+  let reqs2 = trace (List.init 8 (fun i -> (base + (i * 50), 0))) in
+  let responses = Serve.run srv reqs2 in
+  let s3 = Serve.stats srv in
+  Alcotest.(check int) "one fresh miss after invalidation" 2 s3.Serve.cache_misses;
+  check_accuracy gs reqs2 responses;
+  check_accounting (Array.append responses1 responses) s3;
+  (* Re-installing identical content is invisible: the fingerprint is
+     unchanged, so the warm cache entry survives. *)
+  Serve.update_graph srv ~key:0 gs.(0);
+  Alcotest.(check int) "no-op update does not invalidate" 1
+    (Serve.stats srv).Serve.cache_invalidations;
+  Alcotest.(check bool) "key outside the catalog rejected" true
+    (try
+       Serve.update_graph srv ~key:99 gs.(0);
+       false
+     with Invalid_argument _ -> true)
+
 (* --- admission control --- *)
 
 let overflow_cfg =
@@ -483,6 +523,8 @@ let suite =
       test_calm_all_answered;
     Alcotest.test_case "serve: cache thrash evicts" `Quick
       test_cache_thrash_evicts;
+    Alcotest.test_case "serve: live update invalidates the cache" `Quick
+      test_update_graph_invalidates;
     Alcotest.test_case "serve: shed newest (exact seqs)" `Quick
       test_shed_newest_exact;
     Alcotest.test_case "serve: shed oldest (exact seqs)" `Quick

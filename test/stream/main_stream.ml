@@ -1,0 +1,6 @@
+let () =
+  Alcotest.run "dcs-stream"
+    [
+      ("wal", Test_swal.suite);
+      ("stream_sketch", Test_sstream.suite);
+    ]

@@ -1,0 +1,439 @@
+(* The streaming sketch state: streamed ingest is indistinguishable —
+   bit for bit — from batch-building the final graph; re-freeze policy
+   changes performance, never content; rejected operations mutate
+   nothing; and snapshot + WAL recovery reproduces the exact pre-kill
+   state at every record boundary and every torn byte. *)
+
+open Dcs
+
+let n = 9
+
+(* Interpret an arbitrary integer triple list as a *valid* op sequence:
+   a deterministic shadow of per-arc weights decides whether each step
+   inserts or deletes, so generated streams exercise both without ever
+   tripping the below-zero guard (tested separately). All weights are
+   small integers — the exact-float-sum convention every enforced
+   battery uses. *)
+let ops_of_spec spec =
+  let weights = Hashtbl.create 64 in
+  let get u v = Option.value ~default:0.0 (Hashtbl.find_opt weights (u, v)) in
+  List.map
+    (fun (a, b, c) ->
+      let u = abs a mod n in
+      let v0 = abs b mod n in
+      let v = if v0 = u then (v0 + 1) mod n else v0 in
+      let w = float_of_int ((abs c mod 3) + 1) in
+      let op =
+        if abs c mod 4 = 0 && get u v >= w then Wal.Delete else Wal.Insert
+      in
+      let signed = match op with Wal.Insert -> w | Wal.Delete -> -.w in
+      Hashtbl.replace weights (u, v) (get u v +. signed);
+      (op, u, v, w))
+    spec
+
+let final_digraph ops =
+  let weights = Hashtbl.create 64 in
+  let get u v = Option.value ~default:0.0 (Hashtbl.find_opt weights (u, v)) in
+  List.iter
+    (fun (op, u, v, w) ->
+      let signed = match op with Wal.Insert -> w | Wal.Delete -> -.w in
+      Hashtbl.replace weights (u, v) (get u v +. signed))
+    ops;
+  let g = Digraph.create n in
+  Hashtbl.iter (fun (u, v) w -> if w > 0.0 then Digraph.add_edge g u v w) weights;
+  g
+
+let push t op ~u ~v ~w =
+  match op with
+  | Wal.Insert -> Stream_sketch.insert t ~u ~v ~w
+  | Wal.Delete -> Stream_sketch.delete t ~u ~v ~w
+
+let feed ?refreeze ops =
+  let t = Stream_sketch.create ?refreeze ~n ~seed:42 () in
+  List.iter (fun (op, u, v, w) -> push t op ~u ~v ~w) ops;
+  t
+
+(* A healthy mix of inserts, deletes and full cancellations. *)
+let demo_spec =
+  [
+    (0, 1, 1); (1, 2, 2); (2, 3, 0); (0, 1, 4); (3, 4, 1); (1, 2, 4);
+    (4, 5, 2); (0, 1, 0); (5, 6, 3); (2, 3, 4); (6, 7, 1); (0, 1, 8);
+    (7, 8, 2); (1, 0, 1); (8, 0, 3); (3, 4, 0); (2, 1, 2); (5, 4, 1);
+  ]
+
+let cuts_of seed k =
+  let rng = Prng.create seed in
+  List.init k (fun _ -> Cut.random rng ~n)
+
+(* --- streamed vs batch --- *)
+
+let test_streamed_equals_batch_graph () =
+  let ops = ops_of_spec demo_spec in
+  let t = feed ops in
+  let batch = Csr.of_digraph (final_digraph ops) in
+  Alcotest.(check int64) "fingerprints agree" (Csr.fingerprint batch)
+    (Stream_sketch.fingerprint t);
+  List.iter
+    (fun cut ->
+      Alcotest.(check (float 0.0)) "cut values agree bit for bit"
+        (Csr.cut_value batch cut)
+        (Stream_sketch.cut_value t cut))
+    (cuts_of 77 24)
+
+let test_streamed_equals_batch_sketches () =
+  let ops = ops_of_spec demo_spec in
+  let t = feed ops in
+  let g = final_digraph ops in
+  let streamed = Stream_sketch.exact_sketch t in
+  let batch = Exact_sketch.create (Csr.to_digraph (Csr.of_digraph g)) in
+  Alcotest.(check int) "exact sketch sizes agree" batch.Sketch.size_bits
+    streamed.Sketch.size_bits;
+  let s_imb = Stream_sketch.imbalance_sketch t (Prng.create 9) ~eps:0.2 ~beta:2.0 in
+  let b_imb = Imbalance_sketch.create (Prng.create 9) ~eps:0.2 ~beta:2.0 g in
+  Alcotest.(check int) "imbalance sketch sizes agree" b_imb.Sketch.size_bits
+    s_imb.Sketch.size_bits;
+  List.iter
+    (fun cut ->
+      Alcotest.(check (float 0.0)) "exact sketch queries agree"
+        (batch.Sketch.query cut) (streamed.Sketch.query cut);
+      Alcotest.(check (float 0.0)) "imbalance sketch queries agree bit for bit"
+        (b_imb.Sketch.query cut) (s_imb.Sketch.query cut))
+    (cuts_of 78 16)
+
+let test_imbalances_maintained () =
+  let ops = ops_of_spec demo_spec in
+  let t = feed ops in
+  let expected = Imbalance_sketch.imbalances (final_digraph ops) in
+  Alcotest.(check bool) "incremental imbalances exact" true
+    (Stream_sketch.imbalances t = expected)
+
+(* --- re-freeze policy: a performance knob, never a content knob --- *)
+
+let policies =
+  [
+    ("rebuild", Stream_sketch.Rebuild);
+    ("delta-1", Stream_sketch.Delta_buffer { compact_threshold = 1 });
+    ("delta-4", Stream_sketch.Delta_buffer { compact_threshold = 4 });
+    ("delta-64", Stream_sketch.Delta_buffer { compact_threshold = 64 });
+  ]
+
+let test_policy_invariance () =
+  let ops = ops_of_spec demo_spec in
+  let reference = Stream_sketch.digest (feed ~refreeze:Stream_sketch.Rebuild ops) in
+  List.iter
+    (fun (name, refreeze) ->
+      let t = feed ~refreeze ops in
+      Alcotest.(check bool)
+        (Printf.sprintf "digest under %s" name)
+        true
+        (Int64.equal reference (Stream_sketch.digest t)))
+    policies
+
+let test_delta_threshold_respected () =
+  let threshold = 3 in
+  let t =
+    Stream_sketch.create
+      ~refreeze:(Stream_sketch.Delta_buffer { compact_threshold = threshold })
+      ~n ~seed:42 ()
+  in
+  List.iter
+    (fun (op, u, v, w) ->
+      push t op ~u ~v ~w;
+      Alcotest.(check bool) "overlay bounded" true
+        (Stream_sketch.delta_pairs t <= threshold))
+    (ops_of_spec demo_spec)
+
+(* --- rejection --- *)
+
+let test_rejects_leave_state_untouched () =
+  let t = feed (ops_of_spec demo_spec) in
+  let before = Stream_sketch.digest t in
+  let expect_reject name f =
+    (match f () with
+    | exception Stream_sketch.Rejected _ -> ()
+    | () -> Alcotest.fail (name ^ ": expected a rejection"));
+    Alcotest.(check bool) (name ^ ": state untouched") true
+      (Int64.equal before (Stream_sketch.digest t))
+  in
+  expect_reject "below zero" (fun () ->
+      Stream_sketch.delete t ~u:0 ~v:1 ~w:1e9);
+  expect_reject "out of range" (fun () ->
+      Stream_sketch.insert t ~u:0 ~v:n ~w:1.0);
+  expect_reject "self loop" (fun () -> Stream_sketch.insert t ~u:3 ~v:3 ~w:1.0);
+  expect_reject "bad weight" (fun () ->
+      Stream_sketch.insert t ~u:0 ~v:1 ~w:Float.nan);
+  expect_reject "zero weight" (fun () -> Stream_sketch.insert t ~u:0 ~v:1 ~w:0.0)
+
+let test_apply_reports_rejects () =
+  let t = Stream_sketch.create ~n ~seed:1 () in
+  (match Stream_sketch.apply t ~op:Wal.Delete ~u:0 ~v:1 ~w:1.0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "deleting from empty must fail");
+  Alcotest.(check int) "nothing applied" 0 (Stream_sketch.arcs t)
+
+(* --- support sampling --- *)
+
+let test_sample_arc_live () =
+  let ops = ops_of_spec demo_spec in
+  let t = feed ops in
+  let g = final_digraph ops in
+  (match Stream_sketch.sample_arc t with
+  | Some (u, v) ->
+      Alcotest.(check bool) "sampled arc is live" true (Digraph.mem_edge g u v)
+  | None -> Alcotest.fail "nonempty support must sample");
+  (* Delete everything: the samplers must collapse back to zero. *)
+  Digraph.iter_edges g (fun u v w -> Stream_sketch.delete t ~u ~v ~w);
+  Alcotest.(check int) "no arcs" 0 (Stream_sketch.arcs t);
+  Alcotest.(check (option (pair int int))) "empty support" None
+    (Stream_sketch.sample_arc t)
+
+(* --- durability --- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dcs_stream" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun g -> Sys.remove (Filename.concat dir g)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let journal_with dir ops =
+  match Stream_sketch.open_journal ~dir ~n ~seed:42 () with
+  | Error e -> Alcotest.fail e
+  | Ok (j, _) ->
+      List.iter
+        (fun (op, u, v, w) ->
+          let r =
+            match op with
+            | Wal.Insert -> Stream_sketch.journal_insert j ~u ~v ~w
+            | Wal.Delete -> Stream_sketch.journal_delete j ~u ~v ~w
+          in
+          match r with Ok () -> () | Error e -> Alcotest.fail e)
+        ops;
+      j
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let test_checkpoint_restore () =
+  with_temp_dir (fun dir ->
+      let snapshot = Filename.concat dir "snap.ckpt" in
+      let ops = ops_of_spec demo_spec in
+      let t = feed ops in
+      Stream_sketch.checkpoint t ~path:snapshot;
+      match
+        Stream_sketch.recover ~n ~seed:42 ~snapshot
+          ~wal:(Filename.concat dir "absent.log") ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok { state; report; snapshot_seq } ->
+          Alcotest.(check int) "nothing replayed" 0 report.Wal.offered;
+          Alcotest.(check int) "floor" 0 snapshot_seq;
+          Alcotest.(check bool) "restored state is byte-identical" true
+            (Int64.equal (Stream_sketch.digest t) (Stream_sketch.digest state)))
+
+let test_kill_at_every_record_boundary () =
+  let ops = ops_of_spec demo_spec in
+  let k = List.length ops in
+  (* Reference digests: digest after i ops of one uninterrupted journal. *)
+  let reference = Array.make (k + 1) Int64.zero in
+  with_temp_dir (fun dir ->
+      match Stream_sketch.open_journal ~dir ~n ~seed:42 () with
+      | Error e -> Alcotest.fail e
+      | Ok (j, _) ->
+          reference.(0) <- Stream_sketch.digest (Stream_sketch.journal_state j);
+          List.iteri
+            (fun i (op, u, v, w) ->
+              (match
+                 match op with
+                 | Wal.Insert -> Stream_sketch.journal_insert j ~u ~v ~w
+                 | Wal.Delete -> Stream_sketch.journal_delete j ~u ~v ~w
+               with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e);
+              reference.(i + 1) <-
+                Stream_sketch.digest (Stream_sketch.journal_state j))
+            ops;
+          Stream_sketch.close_journal j);
+  (* Kill after every prefix: a journal stopped dead after i records
+     (every append is flushed whole, so closing without a checkpoint is
+     exactly a boundary kill) must recover to reference.(i). *)
+  for i = 0 to k do
+    with_temp_dir (fun dir ->
+        let j = journal_with dir (take i ops) in
+        Stream_sketch.close_journal j;
+        match Stream_sketch.open_journal ~dir ~n ~seed:42 () with
+        | Error e -> Alcotest.fail e
+        | Ok (j2, report) ->
+            Alcotest.(check int)
+              (Printf.sprintf "kill at %d: replay applied" i)
+              i report.Wal.applied;
+            Alcotest.(check int) "no quarantine on a clean kill" 0
+              (List.length report.Wal.quarantined);
+            Alcotest.(check bool)
+              (Printf.sprintf "kill at %d: digest reproduced" i)
+              true
+              (Int64.equal reference.(i)
+                 (Stream_sketch.digest (Stream_sketch.journal_state j2)));
+            Stream_sketch.close_journal j2)
+  done
+
+let test_torn_write_recovery () =
+  let ops = ops_of_spec demo_spec in
+  let k = List.length ops in
+  with_temp_dir (fun dir ->
+      (* A full log, then a tear at an awkward byte: recovery lands on the
+         last intact boundary, reports the torn tail, and fresh appends
+         after the recovery checkpoint are clean. *)
+      let j = journal_with dir ops in
+      Stream_sketch.close_journal j;
+      let _, wal_path = (Filename.concat dir "snapshot.ckpt", Filename.concat dir "wal.log") in
+      let raw = read_file wal_path in
+      (* Tear mid-way through the last record. *)
+      let at = String.length raw - 3 in
+      write_file wal_path (Wal.Adversary.tear raw ~at);
+      match Stream_sketch.open_journal ~dir ~n ~seed:42 () with
+      | Error e -> Alcotest.fail e
+      | Ok (j2, report) ->
+          Alcotest.(check int) "one record lost to the tear" (k - 1)
+            report.Wal.applied;
+          (match report.Wal.quarantined with
+          | [ Wal.Damaged (Wal.Torn _) ] -> ()
+          | _ -> Alcotest.fail "expected exactly the torn tail quarantined");
+          (* The recovered journal keeps working: the open-time checkpoint
+             cleared the damaged tail out of the log's future. *)
+          (match Stream_sketch.journal_insert j2 ~u:0 ~v:1 ~w:1.0 with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          Stream_sketch.close_journal j2;
+          match Stream_sketch.open_journal ~dir ~n ~seed:42 () with
+          | Error e -> Alcotest.fail e
+          | Ok (j3, report3) ->
+              Alcotest.(check int) "clean replay after recovery" 1
+                report3.Wal.applied;
+              Alcotest.(check int) "no residual quarantine" 0
+                (List.length report3.Wal.quarantined);
+              Stream_sketch.close_journal j3)
+
+let test_periodic_checkpoint_compacts () =
+  with_temp_dir (fun dir ->
+      match Stream_sketch.open_journal ~checkpoint_every:4 ~dir ~n ~seed:42 () with
+      | Error e -> Alcotest.fail e
+      | Ok (j, _) ->
+          let ops = ops_of_spec demo_spec in
+          List.iter
+            (fun (op, u, v, w) ->
+              match
+                match op with
+                | Wal.Insert -> Stream_sketch.journal_insert j ~u ~v ~w
+                | Wal.Delete -> Stream_sketch.journal_delete j ~u ~v ~w
+              with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e)
+            ops;
+          let digest = Stream_sketch.digest (Stream_sketch.journal_state j) in
+          Stream_sketch.close_journal j;
+          (* The log only holds the tail since the last auto-checkpoint. *)
+          (match Wal.scan_file ~path:(Filename.concat dir "wal.log") with
+          | Error e -> Alcotest.fail e
+          | Ok scan ->
+              Alcotest.(check bool) "log compacted" true (scan.Wal.units < 4));
+          match Stream_sketch.open_journal ~dir ~n ~seed:42 () with
+          | Error e -> Alcotest.fail e
+          | Ok (j2, _) ->
+              Alcotest.(check bool) "compacted recovery byte-identical" true
+                (Int64.equal digest
+                   (Stream_sketch.digest (Stream_sketch.journal_state j2)));
+              Stream_sketch.close_journal j2)
+
+(* --- properties --- *)
+
+let spec_gen =
+  QCheck.(list_of_size (Gen.int_range 0 60) (triple small_nat small_nat small_nat))
+
+let qcheck_streamed_equals_batch =
+  QCheck.Test.make ~count:60
+    ~name:"any insert/delete stream decodes identically to the batch build"
+    spec_gen
+    (fun spec ->
+      let ops = ops_of_spec spec in
+      let t = feed ops in
+      let batch = Csr.of_digraph (final_digraph ops) in
+      Int64.equal (Stream_sketch.fingerprint t) (Csr.fingerprint batch)
+      && List.for_all
+           (fun cut -> Csr.cut_value batch cut = Stream_sketch.cut_value t cut)
+           (cuts_of 101 8))
+
+let qcheck_policy_is_content_invisible =
+  QCheck.Test.make ~count:40 ~name:"re-freeze policy never changes content"
+    QCheck.(pair spec_gen (int_range 1 16))
+    (fun (spec, threshold) ->
+      let ops = ops_of_spec spec in
+      let a = feed ~refreeze:Stream_sketch.Rebuild ops in
+      let b =
+        feed
+          ~refreeze:(Stream_sketch.Delta_buffer { compact_threshold = threshold })
+          ops
+      in
+      Int64.equal (Stream_sketch.digest a) (Stream_sketch.digest b))
+
+let qcheck_kill_recover =
+  QCheck.Test.make ~count:25
+    ~name:"kill at any boundary: recovery reproduces the exact state"
+    QCheck.(pair spec_gen (int_bound 1000))
+    (fun (spec, cut) ->
+      let ops = ops_of_spec spec in
+      let i = if ops = [] then 0 else cut mod (List.length ops + 1) in
+      let prefix = take i ops in
+      with_temp_dir (fun dir ->
+          let j = journal_with dir prefix in
+          let expected = Stream_sketch.digest (Stream_sketch.journal_state j) in
+          Stream_sketch.close_journal j;
+          match Stream_sketch.open_journal ~dir ~n ~seed:42 () with
+          | Error e -> QCheck.Test.fail_report e
+          | Ok (j2, report) ->
+              let got = Stream_sketch.digest (Stream_sketch.journal_state j2) in
+              Stream_sketch.close_journal j2;
+              report.Wal.applied = i && Int64.equal expected got))
+
+let suite =
+  [
+    Alcotest.test_case "streamed = batch: graph and cuts" `Quick
+      test_streamed_equals_batch_graph;
+    Alcotest.test_case "streamed = batch: derived sketches" `Quick
+      test_streamed_equals_batch_sketches;
+    Alcotest.test_case "imbalances maintained exactly" `Quick
+      test_imbalances_maintained;
+    Alcotest.test_case "re-freeze policy invariance" `Quick test_policy_invariance;
+    Alcotest.test_case "delta overlay bounded by threshold" `Quick
+      test_delta_threshold_respected;
+    Alcotest.test_case "rejections leave the state untouched" `Quick
+      test_rejects_leave_state_untouched;
+    Alcotest.test_case "apply reports rejects" `Quick test_apply_reports_rejects;
+    Alcotest.test_case "support sampling follows the live graph" `Quick
+      test_sample_arc_live;
+    Alcotest.test_case "checkpoint restore is byte-identical" `Quick
+      test_checkpoint_restore;
+    Alcotest.test_case "kill at every record boundary" `Quick
+      test_kill_at_every_record_boundary;
+    Alcotest.test_case "torn write recovery" `Quick test_torn_write_recovery;
+    Alcotest.test_case "periodic checkpoints compact the log" `Quick
+      test_periodic_checkpoint_compacts;
+    QCheck_alcotest.to_alcotest qcheck_streamed_equals_batch;
+    QCheck_alcotest.to_alcotest qcheck_policy_is_content_invisible;
+    QCheck_alcotest.to_alcotest qcheck_kill_recover;
+  ]

@@ -123,6 +123,41 @@ let test_load_garbage_file () =
       | Ok _ -> Alcotest.fail "garbage must be rejected"
       | Error _ -> ())
 
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec scan i = i + ln <= lh && (String.sub hay i ln = needle || scan (i + 1)) in
+  scan 0
+
+let test_load_forensic_diagnostics () =
+  (* Rejection alone is not enough to debug a damaged snapshot in the
+     field: the diagnostic must say where (byte offset) and what
+     (expected-vs-actual CRC, promised-vs-found length). *)
+  with_tmp (fun path ->
+      Checkpoint.save ~path ~signature:"diag"
+        [ { Checkpoint.index = 0; payload = "forensic payload" } ];
+      let raw = read_file path in
+      let b = Bytes.of_string raw in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x40));
+      write_file path (Bytes.to_string b);
+      (match Checkpoint.load ~path ~signature:"diag" with
+      | Ok _ -> Alcotest.fail "flipped body byte must be rejected"
+      | Error e ->
+          Alcotest.(check bool) ("byte offset in: " ^ e) true
+            (contains e "byte offset");
+          Alcotest.(check bool) ("expected crc in: " ^ e) true
+            (contains e "expected crc");
+          Alcotest.(check bool) ("actual crc in: " ^ e) true (contains e "actual"));
+      write_file path (String.sub raw 0 (String.length raw - 3));
+      match Checkpoint.load ~path ~signature:"diag" with
+      | Ok _ -> Alcotest.fail "truncated body must be rejected"
+      | Error e ->
+          Alcotest.(check bool) ("byte offset in: " ^ e) true
+            (contains e "byte offset");
+          Alcotest.(check bool) ("promised length in: " ^ e) true
+            (contains e "promises");
+          Alcotest.(check bool) ("found length in: " ^ e) true (contains e "found"))
+
 (* --- qcheck properties: roundtrip identity, bit flips, truncation --- *)
 
 let record_list_gen =
@@ -324,6 +359,8 @@ let suite =
       test_load_missing_file;
     Alcotest.test_case "checkpoint: signature mismatch rejected" `Quick
       test_load_signature_mismatch;
+    Alcotest.test_case "checkpoint: load failures carry forensic diagnostics"
+      `Quick test_load_forensic_diagnostics;
     Alcotest.test_case "checkpoint: garbage file rejected" `Quick
       test_load_garbage_file;
     QCheck_alcotest.to_alcotest prop_roundtrip_identity;
