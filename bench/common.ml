@@ -13,6 +13,15 @@ let rate_cell ~ok ~total =
 
 let kbits bits = Printf.sprintf "%.1f" (float_of_int bits /. 1000.0)
 
+(* Registry probe-delta: snapshot a counter, read its increment later. *)
+type probe = { counter : Obs.Metrics.counter; before : int }
+
+let probe name =
+  let c = Obs.Metrics.counter name in
+  { counter = c; before = Obs.Metrics.counter_value c }
+
+let delta p = Obs.Metrics.counter_value p.counter - p.before
+
 let seed_of_experiment id =
   (* Stable per-experiment seeds so every table is reproducible in
      isolation. *)

@@ -1,4 +1,5 @@
-(* E4 — Theorem 1.2 / Lemmas 4.2-4.4: the for-all lower bound.
+(* E4 — Theorem 1.2 / Lemmas 4.2-4.4: the for-all lower bound, scheduled
+   as DAG stages.
 
    (a) The Lemma 4.3 population statistics (|L_high|, |L_low| as fractions
    of |L|) and the Lemma 4.4 capture rate |L_high ∩ Q| / |L_high| for the
@@ -8,167 +9,266 @@
    rules out, the literal subset enumeration, and the polynomial top-k
    variant — against exact sketches and noisy oracles.
 
-   (c) Bits against the Ω(nβ/ε²) curve. *)
+   (c) Bits against the Ω(nβ/ε²) curve.
+
+   Stage graph: one instance stage per (beta, 1/eps²) configuration —
+   shared with E19/E20 on the battery grid through [Pipelines] — feeding
+   one Lemma 4.3/4.4 statistics stage per configuration and one decode
+   stage per configuration x sketch kind (all three decoders run on the
+   same instances inside one stage); the bits table is one closed-form
+   stage. *)
 
 open Dcs
 module F = Forall_lb
+module P = Pipelines
 
-let lemma43_44_table rng =
-  let t =
-    Table.create ~title:"Lemma 4.3 / 4.4 statistics (mean over 40 instances)"
-      ~columns:
-        [
-          "beta"; "1/eps^2"; "k"; "|L_high|/k"; "|L_low|/k"; "capture |L_high∩Q|/|L_high|";
-        ]
-  in
-  List.iter
-    (fun (beta, d) ->
+let lemma_cfgs = [ (1, 8); (1, 16); (2, 8); (2, 16); (4, 16) ]
+
+let instances_for pl ~beta ~d =
+  P.forall_instances pl ~beta ~d ~n:(2 * beta * d) ~trials:P.battery_trials
+
+(* Lemma 4.3/4.4 statistics over the configuration's instance family.
+   Artifact: (sum_high, sum_low, capture_num, capture_den, instances). *)
+let lemma_stage pl ~beta ~d =
+  let insts = instances_for pl ~beta ~d in
+  let name = Printf.sprintf "forall.lemma43 b%d d%d" beta d in
+  Sched.stage (P.dag pl) ~name ~codec:(Sched.marshal_codec ())
+    ~deps:[ Sched.dep insts ]
+    (fun () ->
       let n = 2 * beta * d in
       let p = F.make_params ~beta ~inv_eps_sq:d n in
       let k = F.block_size p in
-      let trials = 40 in
+      let arr = P.value pl insts in
       let sum_high = ref 0.0 and sum_low = ref 0.0 in
       let capture_num = ref 0 and capture_den = ref 0 in
-      for _ = 1 to trials do
-        let inst = F.random_instance rng p in
-        let high, low = F.lemma43_stats inst in
-        sum_high := !sum_high +. (float_of_int high /. float_of_int k);
-        sum_low := !sum_low +. (float_of_int low /. float_of_int k);
-        (* Q from the argmax decoder on the exact graph. *)
-        let q =
-          F.topk_q_set p ~sketch_graph:inst.F.graph inst.F.target
-            ~t:inst.F.gh.Gap_hamming.t
-        in
-        (* count how many of L_high landed in Q *)
-        let a = inst.F.target in
-        let quarter = float_of_int d /. 4.0 in
-        let gap_half = float_of_int inst.F.gh.Gap_hamming.gap /. 2.0 in
-        for i = 0 to k - 1 do
-          let s =
-            inst.F.gh.Gap_hamming.strings.(F.string_index_of_address p { a with F.i })
+      Array.iter
+        (fun inst ->
+          let high, low = F.lemma43_stats inst in
+          sum_high := !sum_high +. (float_of_int high /. float_of_int k);
+          sum_low := !sum_low +. (float_of_int low /. float_of_int k);
+          (* Q from the argmax decoder on the exact graph. *)
+          let q =
+            F.topk_q_set p ~sketch_graph:inst.F.graph inst.F.target
+              ~t:inst.F.gh.Gap_hamming.t
           in
-          let overlap =
-            float_of_int (Bitstring.intersection_size s inst.F.gh.Gap_hamming.t)
-          in
-          if overlap >= quarter +. gap_half then begin
-            incr capture_den;
-            if q.(i) then incr capture_num
-          end
-        done
-      done;
-      Table.add_row t
-        [
-          Table.fint beta;
-          Table.fint d;
-          Table.fint k;
-          Table.ffloat ~digits:3 (!sum_high /. float_of_int trials);
-          Table.ffloat ~digits:3 (!sum_low /. float_of_int trials);
-          (if !capture_den = 0 then "n/a"
-           else Table.ffloat ~digits:3
-                  (float_of_int !capture_num /. float_of_int !capture_den));
-        ])
-    [ (1, 8); (1, 16); (2, 8); (2, 16); (4, 16) ];
-  Table.print t;
-  Common.note
-    "Lemma 4.3 expects both fractions in [1/2 - 10c, 1/2] as c -> 0 (larger";
-  Common.note
-    "1/eps^2 gives finer gaps, pushing the fractions up); Lemma 4.4 expects";
-  Common.note "capture >= 4/5, which holds with margin."
+          (* count how many of L_high landed in Q *)
+          let a = inst.F.target in
+          let quarter = float_of_int d /. 4.0 in
+          let gap_half = float_of_int inst.F.gh.Gap_hamming.gap /. 2.0 in
+          for i = 0 to k - 1 do
+            let s =
+              inst.F.gh.Gap_hamming.strings.(F.string_index_of_address p
+                                               { a with F.i })
+            in
+            let overlap =
+              float_of_int
+                (Bitstring.intersection_size s inst.F.gh.Gap_hamming.t)
+            in
+            if overlap >= quarter +. gap_half then begin
+              incr capture_den;
+              if q.(i) then incr capture_num
+            end
+          done)
+        arr;
+      (!sum_high, !sum_low, !capture_num, !capture_den, Array.length arr))
 
-let success_table rng =
-  let t =
-    Table.create
-      ~title:"decode success: one-query strawman vs Lemma 4.4 decoders (Thm 1.2)"
-      ~columns:
-        [
-          "beta"; "1/eps^2"; "sketch"; "single-query"; "enumerate"; "top-k";
-        ]
-  in
-  List.iter
-    (fun (beta, d) ->
+type kind = Exact | Noisy of float (* factor of eps *)
+
+let kinds = [ Exact; Noisy 0.5; Noisy 0.1; Noisy 0.02 ]
+let kind_tag = function Exact -> "exact" | Noisy f -> Printf.sprintf "noisy%g" f
+
+let kind_label p = function
+  | Exact -> "exact"
+  | Noisy factor -> Printf.sprintf "noisy eps'=%.3f" (factor *. F.eps p)
+
+let sketch_of p = function
+  | Exact -> fun _rng (inst : F.instance) -> Exact_sketch.create inst.F.graph
+  | Noisy factor ->
+      fun rng (inst : F.instance) ->
+        Noisy_oracle.create ~mode:Noisy_oracle.Random rng
+          ~eps:(factor *. F.eps p) inst.F.graph
+
+type decode_counts = {
+  single : int;
+  enumerate : int option; (* None when k > 16 *)
+  topk : int option;      (* None for non-graph-valued sketches *)
+  total : int;
+}
+
+(* One (configuration, sketch kind) decode stage: all three decoders on
+   the same instances, each trial's sketch built from its own split
+   stream. *)
+let decode_stage pl ~beta ~d kind =
+  let insts = instances_for pl ~beta ~d in
+  let name = Printf.sprintf "forall.decode b%d d%d %s" beta d (kind_tag kind) in
+  Sched.stage (P.dag pl) ~name ~fingerprint:(P.fp_of name)
+    ~codec:(Sched.marshal_codec ())
+    ~deps:[ Sched.dep insts ]
+    (fun () ->
       let n = 2 * beta * d in
       let p = F.make_params ~beta ~inv_eps_sq:d n in
       let k = F.block_size p in
       let enum_ok = k <= 16 in
-      let row sketch_name sketch_of graph_based =
-        let trials = 60 in
-        let s1 =
-          (F.run_trials rng p ~sketch_of ~decoder:`Single ~trials).F.success_rate
-        in
-        let s2 =
+      let sketch_of = sketch_of p kind in
+      let arr = P.value pl insts in
+      let master = P.seed_rng name in
+      let scratch = F.decode_scratch p in
+      let single = ref 0 and enum = ref 0 and topk = ref 0 in
+      let graph_based = ref true in
+      Array.iteri
+        (fun i inst ->
+          let rng = Prng.split master i in
+          let sk = sketch_of rng inst in
+          let t = inst.F.gh.Gap_hamming.t in
+          let want = F.correct_decision inst in
+          if F.decode_single_query p ~query:sk.Sketch.query inst.F.target ~t
+             = want
+          then incr single;
           if enum_ok then
-            Printf.sprintf "%.2f"
-              (F.run_trials rng p ~sketch_of ~decoder:`Enumerate ~trials:30)
-                .F.success_rate
-          else "skipped (k>16)"
+            if F.decode_enumerate ?graph:sk.Sketch.graph ~scratch p
+                 ~query:sk.Sketch.query inst.F.target ~t
+               = want
+            then incr enum;
+          match sk.Sketch.graph with
+          | Some g ->
+              if F.decode_topk p ~sketch_graph:g inst.F.target ~t = want then
+                incr topk
+          | None -> graph_based := false)
+        arr;
+      {
+        single = !single;
+        enumerate = (if enum_ok then Some !enum else None);
+        topk = (if !graph_based then Some !topk else None);
+        total = Array.length arr;
+      })
+
+let bits_cfgs =
+  [
+    (16, 1, 8); (32, 1, 16); (64, 1, 32); (32, 2, 8); (64, 2, 16); (128, 4, 16);
+    (256, 4, 32); (512, 8, 32);
+  ]
+
+let bits_stage pl =
+  Sched.stage (P.dag pl) ~name:"forall.bits" ~codec:(Sched.marshal_codec ())
+    ~deps:[]
+    (fun () ->
+      List.map
+        (fun (n, beta, d) ->
+          let p = F.make_params ~beta ~inv_eps_sq:d n in
+          (n, beta, d, F.bits_capacity p, F.codec_bits p))
+        bits_cfgs)
+
+let plan pl =
+  let lemma_nodes =
+    List.map (fun (beta, d) -> ((beta, d), lemma_stage pl ~beta ~d)) lemma_cfgs
+  in
+  let decode_nodes =
+    List.map
+      (fun (beta, d) ->
+        ((beta, d), List.map (fun k -> (k, decode_stage pl ~beta ~d k)) kinds))
+      P.battery
+  in
+  let bits = bits_stage pl in
+  fun () ->
+    Common.section "E4  Theorem 1.2 — for-all cut sketch lower bound";
+    let t =
+      Table.create
+        ~title:
+          (Printf.sprintf "Lemma 4.3 / 4.4 statistics (mean over %d instances)"
+             P.battery_trials)
+        ~columns:
+          [
+            "beta"; "1/eps^2"; "k"; "|L_high|/k"; "|L_low|/k";
+            "capture |L_high∩Q|/|L_high|";
+          ]
+    in
+    List.iter
+      (fun ((beta, d), node) ->
+        let sum_high, sum_low, capture_num, capture_den, trials =
+          P.value pl node
         in
-        let s3 =
-          if graph_based then
-            Printf.sprintf "%.2f"
-              (F.run_trials rng p ~sketch_of ~decoder:`Topk ~trials).F.success_rate
-          else "n/a"
-        in
+        let k = F.block_size (F.make_params ~beta ~inv_eps_sq:d (2 * beta * d)) in
         Table.add_row t
           [
-            Table.fint beta; Table.fint d; sketch_name;
-            Printf.sprintf "%.2f" s1; s2; s3;
-          ]
-      in
-      row "exact" (fun _ inst -> Exact_sketch.create inst.F.graph) true;
-      let eps = F.eps p in
-      let noisy factor =
-        row
-          (Printf.sprintf "noisy eps'=%.3f" (factor *. eps))
-          (fun r inst ->
-            Noisy_oracle.create ~mode:Noisy_oracle.Random r ~eps:(factor *. eps)
-              inst.F.graph)
-          false
-      in
-      List.iter noisy [ 0.5; 0.1; 0.02 ];
-      Table.add_rule t)
-    [ (1, 8); (2, 8); (1, 16) ];
-  Table.print t;
-  Common.note
-    "the single-query decoder needs accuracy ~ eps^2 (its signal Θ(1/ε) hides";
-  Common.note
-    "under a Θ(β/ε⁴) cut), while the subset decoders survive at Θ(ε) accuracy —";
-  Common.note "the separation that drives the Section 4 reduction."
-
-let bits_table () =
-  let t =
-    Table.create ~title:"raw Gap-Hamming bits vs the Ω(n·β/ε²) curve"
-      ~columns:
-        [ "n"; "beta"; "1/eps^2"; "bits h/ε²"; "n·β/ε²"; "ratio"; "codec kbits" ]
-  in
-  List.iter
-    (fun (n, beta, d) ->
-      let p = F.make_params ~beta ~inv_eps_sq:d n in
-      let cap = F.bits_capacity p in
-      let bound = float_of_int (n * beta * d) in
-      Table.add_row t
-        [
-          Table.fint n;
-          Table.fint beta;
-          Table.fint d;
-          Table.fint cap;
-          Table.ffloat ~digits:0 bound;
-          Table.ffloat ~digits:3 (float_of_int cap /. bound);
-          Common.kbits (F.codec_bits p);
-        ])
-    [
-      (16, 1, 8); (32, 1, 16); (64, 1, 32); (32, 2, 8); (64, 2, 16); (128, 4, 16);
-      (256, 4, 32); (512, 8, 32);
-    ];
-  Table.print t;
-  Common.note
-    "ratio = |input| / (nβ/ε²) is Θ(1) over the whole grid; the codec stores";
-  Common.note "exactly those bits and answers every cut query, matching the bound."
-
-let run () =
-  Common.section "E4  Theorem 1.2 — for-all cut sketch lower bound";
-  let rng = Common.rng_for 4 in
-  lemma43_44_table rng;
-  print_newline ();
-  success_table rng;
-  print_newline ();
-  bits_table ()
+            Table.fint beta;
+            Table.fint d;
+            Table.fint k;
+            Table.ffloat ~digits:3 (sum_high /. float_of_int trials);
+            Table.ffloat ~digits:3 (sum_low /. float_of_int trials);
+            (if capture_den = 0 then "n/a"
+             else
+               Table.ffloat ~digits:3
+                 (float_of_int capture_num /. float_of_int capture_den));
+          ])
+      lemma_nodes;
+    Table.print t;
+    Common.note
+      "Lemma 4.3 expects both fractions in [1/2 - 10c, 1/2] as c -> 0 (larger";
+    Common.note
+      "1/eps^2 gives finer gaps, pushing the fractions up); Lemma 4.4 expects";
+    Common.note "capture >= 4/5, which holds with margin.";
+    print_newline ();
+    let t =
+      Table.create
+        ~title:
+          "decode success: one-query strawman vs Lemma 4.4 decoders (Thm 1.2)"
+        ~columns:
+          [ "beta"; "1/eps^2"; "sketch"; "single-query"; "enumerate"; "top-k" ]
+    in
+    List.iter
+      (fun ((beta, d), cells) ->
+        let p = F.make_params ~beta ~inv_eps_sq:d (2 * beta * d) in
+        List.iter
+          (fun (kind, node) ->
+            let c = P.value pl node in
+            let rate n = float_of_int n /. float_of_int c.total in
+            Table.add_row t
+              [
+                Table.fint beta;
+                Table.fint d;
+                kind_label p kind;
+                Printf.sprintf "%.2f" (rate c.single);
+                (match c.enumerate with
+                | Some n -> Printf.sprintf "%.2f" (rate n)
+                | None -> "skipped (k>16)");
+                (match c.topk with
+                | Some n -> Printf.sprintf "%.2f" (rate n)
+                | None -> "n/a");
+              ])
+          cells;
+        Table.add_rule t)
+      decode_nodes;
+    Table.print t;
+    Common.note
+      "the single-query decoder needs accuracy ~ eps^2 (its signal Θ(1/ε) \
+       hides";
+    Common.note
+      "under a Θ(β/ε⁴) cut), while the subset decoders survive at Θ(ε) \
+       accuracy —";
+    Common.note "the separation that drives the Section 4 reduction.";
+    print_newline ();
+    let t =
+      Table.create ~title:"raw Gap-Hamming bits vs the Ω(n·β/ε²) curve"
+        ~columns:
+          [ "n"; "beta"; "1/eps^2"; "bits h/ε²"; "n·β/ε²"; "ratio"; "codec kbits" ]
+    in
+    List.iter
+      (fun (n, beta, d, cap, codec_bits) ->
+        let bound = float_of_int (n * beta * d) in
+        Table.add_row t
+          [
+            Table.fint n;
+            Table.fint beta;
+            Table.fint d;
+            Table.fint cap;
+            Table.ffloat ~digits:0 bound;
+            Table.ffloat ~digits:3 (float_of_int cap /. bound);
+            Common.kbits codec_bits;
+          ])
+      (P.value pl bits);
+    Table.print t;
+    Common.note
+      "ratio = |input| / (nβ/ε²) is Θ(1) over the whole grid; the codec \
+       stores";
+    Common.note
+      "exactly those bits and answers every cut query, matching the bound."

@@ -1,4 +1,4 @@
-(* E3 — Theorem 1.1: the for-each lower bound, run as an experiment.
+(* E3 — Theorem 1.1: the for-each lower bound, scheduled as DAG stages.
 
    (a) Decode success: against the exact sketch (information-theoretic best
    case) and against (1 ± ε') oracles at multiples of the paper's accuracy
@@ -7,99 +7,161 @@
    requirement is real.
 
    (b) Bits: the number of decodable bits |s| against the Ω̃(n√β/ε) curve,
-   and the instance-codec (matching upper bound) size. *)
+   and the instance-codec (matching upper bound) size.
+
+   Stage graph: one instance stage per configuration (shared through
+   [Pipelines] with any experiment drawing the same family), one decode
+   stage per configuration x sketch kind, and a closed-form bits stage.
+   [plan] declares the stages against the caller's DAG and returns the
+   report closure that renders the tables from the (cached or computed)
+   artifacts after [Sched.run]. *)
 
 open Dcs
 module F = Foreach_lb
+module P = Pipelines
 
-let success_table rng =
-  let t =
-    Table.create
-      ~title:
-        "decode success vs sketch accuracy (eps* = eps/ln(1/eps); threshold of \
-         Thm 1.1)"
-      ~columns:
-        [
-          "beta"; "1/eps"; "n"; "exact"; "eps'=eps*/16"; "eps'=eps*/4"; "eps'=eps*";
-          "eps'=4eps*";
-        ]
-  in
-  List.iter
-    (fun (beta, inv_eps, n) ->
-      let p = F.make_params ~beta ~inv_eps n in
+let trials = 3
+let bits_per_trial = 60
+
+let success_cfgs =
+  [ (1, 8, 64); (1, 16, 64); (1, 8, 256); (4, 8, 64); (4, 16, 128); (16, 8, 128) ]
+
+type kind = Exact | Noisy of float (* factor of eps* *)
+
+let kinds = [ Exact; Noisy 0.0625; Noisy 0.25; Noisy 1.0; Noisy 4.0 ]
+let kind_tag = function Exact -> "exact" | Noisy f -> Printf.sprintf "noisy%g" f
+
+let sketch_of p inv_eps = function
+  | Exact -> fun _rng (inst : F.instance) -> Exact_sketch.create inst.F.graph
+  | Noisy factor ->
       let eps_star = F.eps p /. log (float_of_int inv_eps) in
-      let run sketch_of =
-        let st = F.run_trials rng p ~sketch_of ~trials:3 ~bits_per_trial:60 in
-        Printf.sprintf "%.2f" st.F.success_rate
-      in
-      let exact = run (fun _ inst -> Exact_sketch.create inst.F.graph) in
-      let noisy factor =
-        run (fun r inst ->
-            Noisy_oracle.create ~mode:Noisy_oracle.Random r
-              ~eps:(factor *. eps_star) inst.F.graph)
-      in
-      Table.add_row t
-        [
-          Table.fint beta;
-          Table.fint inv_eps;
-          Table.fint n;
-          exact;
-          noisy 0.0625;
-          noisy 0.25;
-          noisy 1.0;
-          noisy 4.0;
-        ])
-    [
-      (1, 8, 64); (1, 16, 64); (1, 8, 256); (4, 8, 64); (4, 16, 128); (16, 8, 128);
-    ];
-  Table.print t
+      fun rng (inst : F.instance) ->
+        Noisy_oracle.create ~mode:Noisy_oracle.Random rng
+          ~eps:(factor *. eps_star) inst.F.graph
 
-let bits_table () =
-  let t =
-    Table.create
-      ~title:"decodable bits vs the Ω̃(n·√β/ε) lower-bound curve"
-      ~columns:
-        [
-          "n"; "beta"; "1/eps"; "|s| bits"; "n·√β/ε"; "ratio"; "codec kbits";
-          "exact-sketch kbits";
-        ]
+(* One (configuration, sketch kind) decode stage: builds a sketch per
+   instance from its own split stream and decodes [bits_per_trial] random
+   bit indices against it. Artifact: (correct, total). *)
+let decode_stage pl ~beta ~inv_eps ~n kind =
+  let insts = P.foreach_instances pl ~beta ~inv_eps ~n ~trials in
+  let name =
+    Printf.sprintf "foreach.decode b%d e%d n%d %s" beta inv_eps n
+      (kind_tag kind)
   in
-  List.iter
-    (fun (n, beta, inv_eps) ->
+  Sched.stage (P.dag pl) ~name ~fingerprint:(P.fp_of name)
+    ~codec:(Sched.marshal_codec ())
+    ~deps:[ Sched.dep insts ]
+    (fun () ->
       let p = F.make_params ~beta ~inv_eps n in
-      let cap = F.bits_capacity p in
-      let bound =
-        float_of_int n *. sqrt (float_of_int beta) *. float_of_int inv_eps
-      in
-      let rng = Prng.create 42 in
-      let inst = F.random_instance rng p in
-      let exact = Exact_sketch.create inst.F.graph in
-      Table.add_row t
-        [
-          Table.fint n;
-          Table.fint beta;
-          Table.fint inv_eps;
-          Table.fint cap;
-          Table.ffloat ~digits:0 bound;
-          Table.ffloat ~digits:3 (float_of_int cap /. bound);
-          Common.kbits (F.codec_bits p);
-          Common.kbits exact.Sketch.size_bits;
-        ])
-    [
-      (64, 1, 4); (64, 1, 8); (64, 1, 16); (256, 1, 8); (256, 1, 16); (1024, 1, 16);
-      (256, 4, 8); (512, 4, 16); (512, 16, 8); (1024, 16, 16);
-    ];
-  Table.print t;
-  Common.note
-    "ratio = |s| / (n√β/ε) stays Θ(1) across n, β, ε: the construction stores";
-  Common.note
-    "a bit string of exactly the lower-bound size, and the codec (a true cut";
-  Common.note
-    "data structure answering queries exactly) matches it, so the bound is tight."
+      let sketch_of = sketch_of p inv_eps kind in
+      let arr = P.value pl insts in
+      let master = P.seed_rng name in
+      let correct = ref 0 in
+      for t = 0 to trials - 1 do
+        let rng = Prng.split master t in
+        let sk = sketch_of rng arr.(t) in
+        for _ = 1 to bits_per_trial do
+          let q = Prng.int rng (F.bits_capacity p) in
+          let r = F.decode_bit p ~query:sk.Sketch.query q in
+          if r.F.decoded = arr.(t).F.s.(q) then incr correct
+        done
+      done;
+      (!correct, trials * bits_per_trial))
 
-let run () =
-  Common.section "E3  Theorem 1.1 — for-each cut sketch lower bound";
-  let rng = Common.rng_for 3 in
-  success_table rng;
-  print_newline ();
-  bits_table ()
+let bits_cfgs =
+  [
+    (64, 1, 4); (64, 1, 8); (64, 1, 16); (256, 1, 8); (256, 1, 16); (1024, 1, 16);
+    (256, 4, 8); (512, 4, 16); (512, 16, 8); (1024, 16, 16);
+  ]
+
+let bits_stage pl =
+  Sched.stage (P.dag pl) ~name:"foreach.bits" ~codec:(Sched.marshal_codec ())
+    ~deps:[]
+    (fun () ->
+      List.map
+        (fun (n, beta, inv_eps) ->
+          let p = F.make_params ~beta ~inv_eps n in
+          let cap = F.bits_capacity p in
+          let bound =
+            float_of_int n *. sqrt (float_of_int beta) *. float_of_int inv_eps
+          in
+          let rng = Prng.create 42 in
+          let inst = F.random_instance rng p in
+          let exact = Exact_sketch.create inst.F.graph in
+          (n, beta, inv_eps, cap, bound, F.codec_bits p, exact.Sketch.size_bits))
+        bits_cfgs)
+
+let plan pl =
+  let decode_nodes =
+    List.map
+      (fun (beta, inv_eps, n) ->
+        ( (beta, inv_eps, n),
+          List.map (fun k -> (k, decode_stage pl ~beta ~inv_eps ~n k)) kinds ))
+      success_cfgs
+  in
+  let bits = bits_stage pl in
+  fun () ->
+    Common.section "E3  Theorem 1.1 — for-each cut sketch lower bound";
+    let t =
+      Table.create
+        ~title:
+          "decode success vs sketch accuracy (eps* = eps/ln(1/eps); threshold \
+           of Thm 1.1)"
+        ~columns:
+          [
+            "beta"; "1/eps"; "n"; "exact"; "eps'=eps*/16"; "eps'=eps*/4";
+            "eps'=eps*"; "eps'=4eps*";
+          ]
+    in
+    List.iter
+      (fun ((beta, inv_eps, n), cells) ->
+        let cell kind =
+          let correct, total = P.value pl (List.assoc kind cells) in
+          Printf.sprintf "%.2f" (float_of_int correct /. float_of_int total)
+        in
+        Table.add_row t
+          [
+            Table.fint beta;
+            Table.fint inv_eps;
+            Table.fint n;
+            cell Exact;
+            cell (Noisy 0.0625);
+            cell (Noisy 0.25);
+            cell (Noisy 1.0);
+            cell (Noisy 4.0);
+          ])
+      decode_nodes;
+    Table.print t;
+    print_newline ();
+    let t =
+      Table.create
+        ~title:"decodable bits vs the Ω̃(n·√β/ε) lower-bound curve"
+        ~columns:
+          [
+            "n"; "beta"; "1/eps"; "|s| bits"; "n·√β/ε"; "ratio"; "codec kbits";
+            "exact-sketch kbits";
+          ]
+    in
+    List.iter
+      (fun (n, beta, inv_eps, cap, bound, codec_bits, exact_bits) ->
+        Table.add_row t
+          [
+            Table.fint n;
+            Table.fint beta;
+            Table.fint inv_eps;
+            Table.fint cap;
+            Table.ffloat ~digits:0 bound;
+            Table.ffloat ~digits:3 (float_of_int cap /. bound);
+            Common.kbits codec_bits;
+            Common.kbits exact_bits;
+          ])
+      (P.value pl bits);
+    Table.print t;
+    Common.note
+      "ratio = |s| / (n√β/ε) stays Θ(1) across n, β, ε: the construction \
+       stores";
+    Common.note
+      "a bit string of exactly the lower-bound size, and the codec (a true cut";
+    Common.note
+      "data structure answering queries exactly) matches it, so the bound is \
+       tight."

@@ -5,7 +5,7 @@
 # per-trial seed-splitting leaked scheduling into a result.
 #
 # Usage: bin/check_determinism.sh [experiment ids...]
-#                                 (default: E3 E4 E16 E17 E19 E20 E21)
+#                                 (default: E3 E4 E16 E17 E19 E20 E21 E22 E23)
 #
 # Experiments are diffed ONE AT A TIME so the first divergence fails fast
 # and names the experiment (a combined run could only say "something in the
@@ -42,6 +42,16 @@
 # batch E3/E4 decode reruns and the live-mutation serving table must all
 # come out byte-identical at every domain count.
 #
+# E23 is in the default set because it is the scheduler's own contract: it
+# replays the merged E3/E4/E19/E20 stage DAG cold and warm against one
+# artifact store (stdout must be byte-identical, warm hit rate >= 50%,
+# sched.* registry = scheduler reports) and walks the disk tier through a
+# bit-flip/recompute/repair cycle — all of it must come out identical at
+# every DCS_DOMAINS value, since the artifact bytes are the cache keys.
+# The gate additionally runs a cross-process --sched-cache cycle below: a
+# cold E3+E4 run fills a cache directory at DCS_DOMAINS=1 and warm reruns
+# at 1, 2 and 4 must reproduce the cold stdout byte for byte from disk.
+#
 # The gate also runs a kill-then-resume cycle on E16 (the checkpoint-aware
 # sweep) at DCS_DOMAINS=1, 2 and 4: the run is interrupted by --abort-after
 # (exit 3, snapshots on disk), restarted with --resume, and the combined
@@ -62,11 +72,11 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4 E16 E17 E19 E20 E21 E22}"
+experiments="${*:-E3 E4 E16 E17 E19 E20 E21 E22 E23}"
 domain_counts="1 2 4"
 
-echo "== building (bench, tests, @batched kernel suite, @serve suite, @stream suite) =="
-dune build bench/main.exe test/main.exe @batched @serve @stream
+echo "== building (bench, tests, @batched, @serve, @stream, @sched suites) =="
+dune build bench/main.exe test/main.exe @batched @serve @stream @sched
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -93,6 +103,31 @@ for exp in $experiments; do
     echo "  $exp: byte-identical at DCS_DOMAINS=$domain_counts"
 done
 echo "experiment tables byte-identical across domain counts"
+
+echo "== scheduler disk-cache cycle (E3+E4, --sched-cache) =="
+sched_cache="$tmpdir/sched_cache"
+DCS_DOMAINS=1 dune exec --no-build bench/main.exe -- --only E3 E4 \
+    --sched-cache "$sched_cache" 2> /dev/null \
+    | grep -v ' done in ' > "$tmpdir/sched_cold.out"
+for d in 1 2 4; do
+    # Warm rerun out of the spilled artifacts, in a fresh process at each
+    # domain count: stdout must match the cold run byte for byte, and the
+    # scheduler summary (stderr) must report zero stage runs.
+    DCS_DOMAINS="$d" dune exec --no-build bench/main.exe -- --only E3 E4 \
+        --sched-cache "$sched_cache" 2> "$tmpdir/sched_warm_d$d.err" \
+        | grep -v ' done in ' > "$tmpdir/sched_warm_d$d.out"
+    if ! diff -u "$tmpdir/sched_cold.out" "$tmpdir/sched_warm_d$d.out"; then
+        echo "FAIL: warm --sched-cache run diverges from cold at DCS_DOMAINS=$d" >&2
+        exit 1
+    fi
+    if ! grep -q ' 0 ran ' "$tmpdir/sched_warm_d$d.err"; then
+        echo "FAIL: warm --sched-cache run recomputed stages at DCS_DOMAINS=$d" >&2
+        grep '\[sched:' "$tmpdir/sched_warm_d$d.err" >&2 || true
+        exit 1
+    fi
+    echo "  DCS_DOMAINS=$d: warm run all-hits, byte-identical to cold"
+done
+echo "scheduler disk cache byte-identical cold vs warm at DCS_DOMAINS=1, 2 and 4"
 
 echo "== kill-then-resume cycle (E16, --abort-after 30) =="
 DCS_DOMAINS=1 dune exec --no-build bench/main.exe -- --only E16 \
@@ -171,6 +206,11 @@ echo "== batched kernel suite (@batched) with DCS_DOMAINS=1 and 4 =="
 DCS_DOMAINS=1 dune exec --no-build test/batched/main_batched.exe > /dev/null
 DCS_DOMAINS=4 dune exec --no-build test/batched/main_batched.exe > /dev/null
 echo "batched kernel suite green at DCS_DOMAINS=1 and 4"
+
+echo "== scheduler suite (@sched) with DCS_DOMAINS=1 and 4 =="
+DCS_DOMAINS=1 dune exec --no-build test/sched/main_sched.exe > /dev/null
+DCS_DOMAINS=4 dune exec --no-build test/sched/main_sched.exe > /dev/null
+echo "scheduler suite green at DCS_DOMAINS=1 and 4"
 
 echo "== serving-layer suite (@serve) with DCS_DOMAINS=1 and 4 =="
 DCS_DOMAINS=1 dune exec --no-build test/serve/main_serve.exe > /dev/null

@@ -57,7 +57,15 @@
       deterministic open-loop traffic, admission control ({!Token_bucket},
       bounded queue with typed shedding), a
       {!Csr.fingerprint}-keyed sketch cache, jittered-backoff oracle
-      retries and circuit-breaking to a degraded (wider-[eps]) mode. *)
+      retries and circuit-breaking to a degraded (wider-[eps]) mode.
+
+    {1 Scheduling}
+
+    - {!Sched} — experiments as typed stage DAGs: level-parallel execution
+      over {!Pool.run_supervised_batched} and a content-addressed artifact
+      store (in-memory LRU spilling through {!Checkpoint}), so shared
+      generate/freeze/sketch prefixes compute once and warm reruns are
+      byte-identical to cold ones. *)
 
 (** The observability substrate: {!Obs.Metrics} (per-domain sharded
     counters, gauges and exponential-bucket histograms with a deterministic
@@ -146,3 +154,8 @@ module Coordinator = Dcs_distributed.Coordinator
 
 module Traffic = Dcs_serve.Traffic
 module Serve = Dcs_serve.Serve
+
+(** The experiment scheduler: typed stage DAGs over {!Pool} with a
+    content-addressed artifact cache spilling through {!Checkpoint}.
+    E23 enforces its warm-vs-cold byte identity and cache-hit floor. *)
+module Sched = Dcs_sched.Sched

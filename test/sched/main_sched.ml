@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "dcs-sched"
+    [ ("dag", Test_ssched.suite); ("store", Test_sstore.suite) ]
