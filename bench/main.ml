@@ -70,6 +70,8 @@ let experiments =
     ("E21", "dcutd serving layer: admission control + degradation", false, Legacy Exp_serve.run);
     ("E22", "Streaming ingest: WAL recovery + adversarial tolerance", false, Legacy Exp_stream.run);
     ("E23", "Scheduler: cached-vs-cold identity + cache-hit floor", false, Legacy Exp_sched.run);
+    ("E24", "Sparsify-then-solve: connectivity sampling + partial min-cut", false,
+     Planned Exp_sparsolve.plan);
   ]
 
 let json_path : string option ref = ref None

@@ -23,6 +23,9 @@ type t = {
   forall_csrs : (int * int * int * int, Csr.t array Sched.node) Hashtbl.t;
   foreach_insts : (int * int * int * int, Fe.instance array Sched.node) Hashtbl.t;
   graphs : (string, Ugraph.t Sched.node) Hashtbl.t;
+  digraphs : (string, Digraph.t Sched.node) Hashtbl.t;
+  digraph_csrs : (string, Csr.t Sched.node) Hashtbl.t;
+  strengths : (string, Strength.t Sched.node) Hashtbl.t;
 }
 
 let create store =
@@ -32,6 +35,9 @@ let create store =
     forall_csrs = Hashtbl.create 16;
     foreach_insts = Hashtbl.create 16;
     graphs = Hashtbl.create 16;
+    digraphs = Hashtbl.create 16;
+    digraph_csrs = Hashtbl.create 16;
+    strengths = Hashtbl.create 16;
   }
 
 let dag t = t.dag
@@ -123,4 +129,74 @@ let weighted_graph t ~tag ~n ~p ~max_weight =
             Generators.random_multigraph_weights rng g0 ~max_weight)
       in
       Hashtbl.add t.graphs tag node;
+      node
+
+(* A planted-min-cut weighted source: two dense blocks joined by exactly
+   [k] cross edges, integer multigraph weights. The heterogeneous-
+   connectivity regime the sparsify-then-solve experiments target —
+   in-block local connectivity is huge while the planted cut is tiny. *)
+let planted_graph t ~tag ~block ~k ~p_inner ~max_weight =
+  match Hashtbl.find_opt t.graphs tag with
+  | Some node -> node
+  | None ->
+      let name = Printf.sprintf "graph.%s b%d k%d" tag block k in
+      let node =
+        Sched.stage t.dag ~name ~fingerprint:(fp_of name)
+          ~codec:(Sched.marshal_codec ()) ~deps:[]
+          (fun () ->
+            let rng = seed_rng name in
+            let g0 = Generators.planted_mincut rng ~block ~k ~p_inner in
+            Generators.random_multigraph_weights rng g0 ~max_weight)
+      in
+      Hashtbl.add t.graphs tag node;
+      node
+
+(* A β-balanced weighted digraph source (the directed sparsifier
+   experiments), same tag discipline as [weighted_graph]. *)
+let balanced_digraph t ~tag ~n ~p ~beta ~max_weight =
+  match Hashtbl.find_opt t.digraphs tag with
+  | Some node -> node
+  | None ->
+      let name = Printf.sprintf "digraph.%s n%d b%g" tag n beta in
+      let node =
+        Sched.stage t.dag ~name ~fingerprint:(fp_of name)
+          ~codec:(Sched.marshal_codec ()) ~deps:[]
+          (fun () ->
+            Generators.balanced_digraph (seed_rng name) ~n ~p ~beta ~max_weight)
+      in
+      Hashtbl.add t.digraphs tag node;
+      node
+
+(* Frozen CSR view of a digraph stage: the certify/repair drivers and the
+   connectivity estimator both want the same frozen view, so it is one
+   shared vertex per tag. *)
+let digraph_csr t ~tag gnode =
+  match Hashtbl.find_opt t.digraph_csrs tag with
+  | Some node -> node
+  | None ->
+      let name = Printf.sprintf "freeze.%s" tag in
+      let node =
+        Sched.stage t.dag ~name ~codec:(Sched.marshal_codec ())
+          ~deps:[ Sched.dep gnode ]
+          (fun () -> Csr.of_digraph (value t gnode))
+      in
+      Hashtbl.add t.digraph_csrs tag node;
+      node
+
+(* Nagamochi–Ibaraki decomposition of a digraph stage's undirected
+   projection, at a bounded round count — the prefilter tier every
+   connectivity-sampling consumer shares. *)
+let projection_strengths t ~tag ~rounds gnode =
+  match Hashtbl.find_opt t.strengths tag with
+  | Some node -> node
+  | None ->
+      let name = Printf.sprintf "strength.%s r%d" tag rounds in
+      let node =
+        Sched.stage t.dag ~name ~codec:(Sched.marshal_codec ())
+          ~deps:[ Sched.dep gnode ]
+          (fun () ->
+            Strength.compute ~max_rounds:rounds
+              (Ugraph.of_digraph (value t gnode)))
+      in
+      Hashtbl.add t.strengths tag node;
       node

@@ -5,7 +5,7 @@
 # per-trial seed-splitting leaked scheduling into a result.
 #
 # Usage: bin/check_determinism.sh [experiment ids...]
-#                                 (default: E3 E4 E16 E17 E19 E20 E21 E22 E23)
+#                                 (default: E3 E4 E16 E17 E19 E20 E21 E22 E23 E24)
 #
 # Experiments are diffed ONE AT A TIME so the first divergence fails fast
 # and names the experiment (a combined run could only say "something in the
@@ -49,8 +49,19 @@
 # bit-flip/recompute/repair cycle — all of it must come out identical at
 # every DCS_DOMAINS value, since the artifact bytes are the cache keys.
 # The gate additionally runs a cross-process --sched-cache cycle below: a
-# cold E3+E4 run fills a cache directory at DCS_DOMAINS=1 and warm reruns
-# at 1, 2 and 4 must reproduce the cold stdout byte for byte from disk.
+# cold E3+E4+E24 run fills a cache directory at DCS_DOMAINS=1 and warm
+# reruns at 1, 2 and 4 must reproduce the cold stdout byte for byte from
+# disk.
+#
+# E24 is in the default set because it is the sparsify-then-solve pipeline:
+# connectivity estimation fans capped max-flows across the worker pool, the
+# sampler draws one Prng.split stream per edge, and the speed stage re-runs
+# the whole sparse pipeline at explicit domain counts 1/2/4 inside the
+# experiment — its tables (and the >= 3x floor it enforces on every cold
+# run) must be byte-identical at every ambient DCS_DOMAINS value. Wall
+# clock goes to stderr. It also joins the --sched-cache cycle below: its
+# quality floors are re-verified in the report closure, so a warm run must
+# still pass them from cached artifacts alone.
 #
 # The gate also runs a kill-then-resume cycle on E16 (the checkpoint-aware
 # sweep) at DCS_DOMAINS=1, 2 and 4: the run is interrupted by --abort-after
@@ -72,11 +83,11 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-experiments="${*:-E3 E4 E16 E17 E19 E20 E21 E22 E23}"
+experiments="${*:-E3 E4 E16 E17 E19 E20 E21 E22 E23 E24}"
 domain_counts="1 2 4"
 
-echo "== building (bench, tests, @batched, @serve, @stream, @sched suites) =="
-dune build bench/main.exe test/main.exe @batched @serve @stream @sched
+echo "== building (bench, tests, @batched, @serve, @stream, @sched, @sparsolve suites) =="
+dune build bench/main.exe test/main.exe @batched @serve @stream @sched @sparsolve
 
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -104,16 +115,17 @@ for exp in $experiments; do
 done
 echo "experiment tables byte-identical across domain counts"
 
-echo "== scheduler disk-cache cycle (E3+E4, --sched-cache) =="
+echo "== scheduler disk-cache cycle (E3+E4+E24, --sched-cache) =="
 sched_cache="$tmpdir/sched_cache"
-DCS_DOMAINS=1 dune exec --no-build bench/main.exe -- --only E3 E4 \
+DCS_DOMAINS=1 dune exec --no-build bench/main.exe -- --only E3 E4 E24 \
     --sched-cache "$sched_cache" 2> /dev/null \
     | grep -v ' done in ' > "$tmpdir/sched_cold.out"
 for d in 1 2 4; do
     # Warm rerun out of the spilled artifacts, in a fresh process at each
     # domain count: stdout must match the cold run byte for byte, and the
-    # scheduler summary (stderr) must report zero stage runs.
-    DCS_DOMAINS="$d" dune exec --no-build bench/main.exe -- --only E3 E4 \
+    # scheduler summary (stderr) must report zero stage runs (E24's
+    # quality/speed floors are still re-checked from the cached artifacts).
+    DCS_DOMAINS="$d" dune exec --no-build bench/main.exe -- --only E3 E4 E24 \
         --sched-cache "$sched_cache" 2> "$tmpdir/sched_warm_d$d.err" \
         | grep -v ' done in ' > "$tmpdir/sched_warm_d$d.out"
     if ! diff -u "$tmpdir/sched_cold.out" "$tmpdir/sched_warm_d$d.out"; then
@@ -211,6 +223,11 @@ echo "== scheduler suite (@sched) with DCS_DOMAINS=1 and 4 =="
 DCS_DOMAINS=1 dune exec --no-build test/sched/main_sched.exe > /dev/null
 DCS_DOMAINS=4 dune exec --no-build test/sched/main_sched.exe > /dev/null
 echo "scheduler suite green at DCS_DOMAINS=1 and 4"
+
+echo "== sparsify-then-solve suite (@sparsolve) with DCS_DOMAINS=1 and 4 =="
+DCS_DOMAINS=1 dune exec --no-build test/sparsolve/main_sparsolve.exe > /dev/null
+DCS_DOMAINS=4 dune exec --no-build test/sparsolve/main_sparsolve.exe > /dev/null
+echo "sparsify-then-solve suite green at DCS_DOMAINS=1 and 4"
 
 echo "== serving-layer suite (@serve) with DCS_DOMAINS=1 and 4 =="
 DCS_DOMAINS=1 dune exec --no-build test/serve/main_serve.exe > /dev/null

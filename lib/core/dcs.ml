@@ -29,6 +29,12 @@
     - {!Exact_sketch}, {!Noisy_oracle} — reference points.
     - {!Strength}, {!Importance}, {!Benczur_karger}, {!Foreach_sampler},
       {!Directed_sparsifier} — sampling-based sketches.
+    - {!Connectivity} — batched local edge-connectivity estimation
+      (tiered lower bounds: weight, NI strength, common-neighbour,
+      capped Dinic flows on a reusable residual network), feeding
+      {!Directed_sparsifier.connectivity_sparsify} and
+      {!Partial_mincut} — sparsify-then-solve minimum cuts with
+      certify/repair against the original graph.
 
     {1 The paper's lower bounds}
 
@@ -126,7 +132,10 @@ module Importance = Dcs_sketch.Importance
 module Benczur_karger = Dcs_sketch.Benczur_karger
 module Foreach_sampler = Dcs_sketch.Foreach_sampler
 module Directed_sparsifier = Dcs_sketch.Directed_sparsifier
+module Connectivity = Dcs_sketch.Connectivity
 module Imbalance_sketch = Dcs_sketch.Imbalance_sketch
+
+module Partial_mincut = Dcs_solve.Partial_mincut
 
 module Layout = Dcs_lower.Layout
 module Foreach_lb = Dcs_lower.Foreach_lb

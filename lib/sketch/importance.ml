@@ -49,6 +49,34 @@ let sample_digraph rng ~prob g =
     (sorted_edges_digraph g);
   h
 
+(* Binomial weight resampling: an integer weight w is w parallel unit
+   edges, each kept independently with probability p and rescaled by 1/p —
+   so E[kept weight] = w (unbiased per cut, like the whole-edge coin) but
+   with per-edge variance w·(1-p)/p² instead of w²·(1-p)/p², a factor w
+   lower. Non-integer (or sub-unit) weights fall back to the single
+   whole-edge Bernoulli coin. This is the resampling step of CCPS21's
+   compress. *)
+let binomial_split_ok w =
+  w >= 1.0 && Float.abs (w -. Float.round w) <= 1e-9 && w <= 1e6
+
+let binomial_keep rng ~p ~w =
+  let p = clamp p in
+  if p <= 0.0 then None
+  else if p >= 1.0 then Some w
+  else if binomial_split_ok w then begin
+    let x = Prng.binomial rng ~n:(int_of_float (Float.round w)) ~p in
+    if x > 0 then Some (float_of_int x /. p) else None
+  end
+  else if Prng.bernoulli rng p then Some (w /. p)
+  else None
+
+let keep_probability ~p ~w =
+  let p = clamp p in
+  if p <= 0.0 then 0.0
+  else if p >= 1.0 then 1.0
+  else if binomial_split_ok w then 1.0 -. ((1.0 -. p) ** Float.round w)
+  else p
+
 let expected_edges_ugraph ~prob g =
   Ugraph.fold_edges (fun u v w acc -> acc +. clamp (prob u v w)) g 0.0
 

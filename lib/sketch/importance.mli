@@ -18,3 +18,25 @@ val expected_edges_ugraph :
 
 val expected_edges_digraph :
   prob:(int -> int -> float -> float) -> Dcs_graph.Digraph.t -> float
+
+val sorted_edges_ugraph : Dcs_graph.Ugraph.t -> (int * int * float) array
+(** Edges (u < v) in ascending (u, v) order — the canonical iteration
+    order every sampler here consumes its PRNG stream in, exposed so other
+    samplers can pin the same order. *)
+
+val sorted_edges_digraph : Dcs_graph.Digraph.t -> (int * int * float) array
+
+val binomial_keep :
+  Dcs_util.Prng.t -> p:float -> w:float -> float option
+(** Binomial weight resampling (the resampling step of CCPS21's compress):
+    an integer weight [w] is kept as Binomial(w, p)/p — [None] when the
+    binomial count is 0 — which is cut-unbiased like the whole-edge coin
+    but with variance lower by a factor of [w]. Non-integer or sub-unit
+    weights fall back to a single Bernoulli coin keeping [w/p]. [p] is
+    clamped to [0, 1]; [p >= 1] returns [Some w] without consuming the
+    stream. *)
+
+val keep_probability : p:float -> w:float -> float
+(** Probability that {!binomial_keep} keeps the edge (1 - (1-p)^w for
+    integer weights, p otherwise) — the exact expectation to budget
+    sketch sizes against. *)

@@ -2,6 +2,8 @@ module Ugraph = Dcs_graph.Ugraph
 
 type t = {
   idx : (int * int, int) Hashtbl.t;  (* key has u < v *)
+  cons : (int * int, int) Hashtbl.t; (* forests that used the edge (<= idx) *)
+  n : int;
   rounds : int;
 }
 
@@ -41,6 +43,7 @@ let compute ?(max_rounds = 512) g =
     a
   in
   let round = ref 0 in
+  let cons = Hashtbl.create (2 * Ugraph.m g) in
   while Hashtbl.length live > 0 && !round < max_rounds do
     incr round;
     let parent = Array.init n (fun i -> i) in
@@ -57,6 +60,8 @@ let compute ?(max_rounds = 512) g =
       all_edges;
     List.iter
       (fun e ->
+        Hashtbl.replace cons e
+          (1 + Option.value (Hashtbl.find_opt cons e) ~default:0);
         let mult = Hashtbl.find live e in
         if mult <= 1 then begin
           Hashtbl.remove live e;
@@ -68,16 +73,55 @@ let compute ?(max_rounds = 512) g =
   (* Edges still alive are at least max_rounds-connected (or were never
      reached because the forest construction stalled on multiplicity). *)
   Hashtbl.iter (fun e _ -> Hashtbl.replace idx e !round) live;
-  { idx; rounds = !round }
+  { idx; cons; n; rounds = !round }
 
 let index t u v =
   match Hashtbl.find_opt t.idx (key u v) with
   | Some i -> i
-  | None -> raise Not_found
+  | None ->
+      invalid_arg (Printf.sprintf "Strength.index: (%d, %d) is not an edge" u v)
 
 let rounds_used t = t.rounds
 
-let fold f t init = Hashtbl.fold (fun (u, v) i acc -> f u v i acc) t.idx init
+(* Sorted-key iteration: hashtable order depends on insertion history, and
+   every consumer of these indices (samplers, certificates, stage
+   artifacts) is under the byte-identity contract. *)
+let sorted_keys (tbl : (int * int, int) Hashtbl.t) =
+  let a = Array.make (Hashtbl.length tbl) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun e _ ->
+      a.(!i) <- e;
+      incr i)
+    tbl;
+  Array.sort compare a;
+  a
+
+let fold f t init =
+  Array.fold_left
+    (fun acc (u, v) -> f u v (Hashtbl.find t.idx (u, v)) acc)
+    init (sorted_keys t.idx)
+
+(* The Nagamochi–Ibaraki sparse certificate. The forest rounds of [compute]
+   are maximal spanning forests of the not-yet-exhausted edges, so the
+   union of the first k of them — each edge taken with multiplicity equal
+   to the number of those forests that used it — preserves every cut of
+   value <= k and hence every local connectivity up to k. The certificate
+   weight is min(consumed multiplicity, original weight): consumption is in
+   rounded-multiplicity units, and clamping to the true weight keeps the
+   certificate a weighted subgraph (its connectivities never exceed the
+   source's) even for fractional weights. At most n-1 edges join per round,
+   so the certificate has O(rounds_used * n) edges however dense [g] is. *)
+let certificate t g =
+  if Ugraph.n g <> t.n then invalid_arg "Strength.certificate: vertex count";
+  let h = Ugraph.create t.n in
+  Array.iter
+    (fun (u, v) ->
+      let uses = float_of_int (Hashtbl.find t.cons (u, v)) in
+      let w = Float.min uses (Ugraph.weight g u v) in
+      if w > 0.0 then Ugraph.add_edge h u v w)
+    (sorted_keys t.cons);
+  h
 
 let min_index t = fold (fun _ _ i acc -> min i acc) t max_int
 let max_index t = fold (fun _ _ i acc -> max i acc) t 0

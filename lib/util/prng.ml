@@ -85,6 +85,24 @@ let float t x =
 let bernoulli t p =
   if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
 
+(* Explicit coin flips rather than inversion or rejection: exact for every
+   (n, p), O(n) draws, and the draw count depends only on n — so a stream
+   that resamples an integer edge weight consumes a deterministic number of
+   variates regardless of p, which keeps samplers bit-stable when only the
+   probability schedule changes. The weights this serves are small
+   multiplicities, so O(n) is fine. *)
+let binomial t ~n ~p =
+  if n < 0 then invalid_arg "Prng.binomial: n must be nonnegative";
+  if p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else begin
+    let c = ref 0 in
+    for _ = 1 to n do
+      if float t 1.0 < p then incr c
+    done;
+    !c
+  end
+
 let gaussian t =
   let rec nonzero () =
     let u = float t 1.0 in

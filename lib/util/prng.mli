@@ -56,6 +56,14 @@ val bool : t -> bool
 val bernoulli : t -> float -> bool
 (** [bernoulli g p] is [true] with probability [p]. *)
 
+val binomial : t -> n:int -> p:float -> int
+(** [binomial g ~n ~p] counts successes among [n] independent
+    [bernoulli g p] coins — exact for every (n, p), by explicit flips, so
+    the draw count depends only on [n]. [p <= 0] gives 0 and [p >= 1]
+    gives [n] without consuming the stream. Requires [n >= 0]. Used for
+    binomial weight resampling in the connectivity-sampled sparsifiers
+    (an integer edge weight w kept as Binomial(w, p)/p). *)
+
 val sign : t -> int
 (** Uniform in {-1, +1}. *)
 

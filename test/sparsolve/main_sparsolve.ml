@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "dcs-sparsolve"
+    [ ("sampling", Test_psample.suite); ("solve", Test_psolve.suite) ]

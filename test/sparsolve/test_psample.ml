@@ -1,0 +1,99 @@
+(* Connectivity-sampled sparsifiers: the p = min(1, rho/lambda-hat)
+   contract in isolation — identity when the cap pins every probability
+   at 1, byte-determinism across reruns and domain counts, and exact
+   preservation of weak planted edges. *)
+
+open Dcs
+
+let ugraph seed ~n ~p ~max_weight =
+  let rng = Prng.create seed in
+  let g0 = Generators.erdos_renyi_connected rng ~n ~p in
+  Generators.random_multigraph_weights rng g0 ~max_weight
+
+(* cap <= rho pins p = rho/lambda-hat >= 1 everywhere: the sparsifier is
+   the identity (binomial_keep at p = 1 keeps the exact weight). *)
+let test_identity_when_cap_leq_rho () =
+  let g = ugraph 7 ~n:40 ~p:0.3 ~max_weight:5 in
+  let h, conn =
+    Partial_mincut.sparsify ~rho:10.0 ~cap:10.0 (Prng.create 1) ~eps:0.5 g
+  in
+  Alcotest.(check bool) "identity" true (Ugraph.equal g h);
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        "lambda-hat <= cap" true
+        (Connectivity.lambda_at conn i <= 10.0 +. 1e-9))
+    (Connectivity.edges conn)
+
+let test_sparsify_deterministic () =
+  let g = ugraph 11 ~n:60 ~p:0.4 ~max_weight:6 in
+  let h1, _ = Partial_mincut.sparsify ~rho:6.0 (Prng.create 42) ~eps:0.5 g in
+  let h2, _ = Partial_mincut.sparsify ~rho:6.0 (Prng.create 42) ~eps:0.5 g in
+  Alcotest.(check bool) "same sparsifier" true (Ugraph.equal h1 h2);
+  Alcotest.(check bool) "strictly sparser" true (Ugraph.m h1 < Ugraph.m g)
+
+(* Estimates — and therefore the sampled graph — are a pure function of
+   graph content, independent of the worker-domain count. *)
+let test_domain_count_identity () =
+  let g = ugraph 13 ~n:60 ~p:0.4 ~max_weight:6 in
+  let lambdas domains =
+    let conn =
+      Connectivity.estimate_ugraph ~domains ~flow_budget:16 ~cap:64.0 g
+    in
+    Array.mapi (fun i _ -> Connectivity.lambda_at conn i)
+      (Connectivity.edges conn)
+  in
+  let l1 = lambdas 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array (float 0.0))) "lambda across domains" l1 (lambdas d))
+    [ 2; 4 ];
+  let sparse domains =
+    let conn =
+      Connectivity.estimate_ugraph ~domains ~flow_budget:16 ~cap:64.0 g
+    in
+    fst
+      (Partial_mincut.sparsify ~rho:6.0 ~connectivity:conn (Prng.create 5)
+         ~eps:0.5 g)
+  in
+  Alcotest.(check bool) "H across domains" true (Ugraph.equal (sparse 1) (sparse 2))
+
+(* Planted two-block instance: the k cross edges have true local
+   connectivity k < rho, so lambda-hat <= k pins p = 1 and the planted
+   cut survives sampling with its weight exact. *)
+let test_planted_cut_kept_exactly () =
+  let block = 30 and k = 3 in
+  let g = Generators.planted_mincut (Prng.create 3) ~block ~k ~p_inner:0.5 in
+  let h, conn =
+    Partial_mincut.sparsify ~rho:8.0 ~cap:128.0 ~flow_budget:64
+      (Prng.create 9) ~eps:0.5 g
+  in
+  let planted u = u < block in
+  Alcotest.(check (float 1e-9))
+    "planted cut exact in H" (float_of_int k) (Ugraph.cut_weight h planted);
+  Connectivity.iter conn (fun u v _ lam ->
+      if planted u <> planted v then
+        Alcotest.(check bool)
+          "cross lambda-hat <= k" true
+          (lam <= float_of_int k +. 1e-9))
+
+let test_rho_validation () =
+  let g = ugraph 17 ~n:10 ~p:0.5 ~max_weight:3 in
+  Alcotest.check_raises "rho = 0" (Invalid_argument "Partial_mincut: rho must be positive")
+    (fun () -> ignore (Partial_mincut.sparsify ~rho:0.0 (Prng.create 1) ~eps:0.5 g));
+  Alcotest.check_raises "eps out of range"
+    (Invalid_argument "Partial_mincut: eps in (0,1)") (fun () ->
+      ignore (Partial_mincut.rho_ugraph ~eps:1.5 ~n:10 ()))
+
+let suite =
+  [
+    Alcotest.test_case "cap <= rho is the identity" `Quick
+      test_identity_when_cap_leq_rho;
+    Alcotest.test_case "sparsify is deterministic" `Quick
+      test_sparsify_deterministic;
+    Alcotest.test_case "identical across domain counts" `Quick
+      test_domain_count_identity;
+    Alcotest.test_case "planted cut kept exactly" `Quick
+      test_planted_cut_kept_exactly;
+    Alcotest.test_case "parameter validation" `Quick test_rho_validation;
+  ]

@@ -177,7 +177,19 @@ let test_strength_weighted_multiplicity () =
 let test_strength_not_found () =
   let g = Generators.path ~n:4 in
   let s = Strength.compute g in
-  Alcotest.check_raises "non-edge" Not_found (fun () -> ignore (Strength.index s 0 3))
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Strength.index: (0, 3) is not an edge") (fun () ->
+      ignore (Strength.index s 0 3))
+
+let test_strength_fold_sorted () =
+  let rng = Prng.create 31 in
+  let g = Generators.erdos_renyi_connected rng ~n:12 ~p:0.4 in
+  let last = ref (-1, -1) in
+  Strength.fold
+    (fun u v _ () ->
+      Alcotest.(check bool) "ascending (u, v)" true ((u, v) > !last);
+      last := (u, v))
+    (Strength.compute g) ()
 
 let test_strength_max_rounds_cap () =
   let g = Ugraph.of_edges 2 [ (0, 1, 100.0) ] in
@@ -197,6 +209,94 @@ let prop_strength_below_connectivity =
         (fun u v idx acc ->
           acc && idx <= Dinic.edge_disjoint_paths g ~s:u ~t:v)
         s true)
+
+(* --- Connectivity estimation --- *)
+
+(* Every tier of the estimator — weight, NI index, common-neighbour,
+   capped flow — must stay below the Dinic-certified local connectivity
+   (capped), on weighted graphs. *)
+let prop_connectivity_estimates_sound =
+  QCheck.Test.make ~name:"connectivity estimates <= min(lambda, cap)"
+    ~count:20
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g0 = Generators.erdos_renyi_connected rng ~n:10 ~p:0.35 in
+      let g = Generators.random_multigraph_weights rng g0 ~max_weight:4 in
+      let cap = 6.0 in
+      let conn = Connectivity.estimate_ugraph ~cap g in
+      let net = Dinic.of_ugraph g in
+      let s = Strength.compute g in
+      let ok = ref true in
+      Connectivity.iter conn (fun u v w lam ->
+          let lambda = Dinic.maxflow net ~s:u ~t:v in
+          (* estimate sound and at least the trivial weight bound *)
+          if lam > Float.min lambda cap +. 1e-6 then ok := false;
+          if lam +. 1e-6 < Float.min w cap then ok := false;
+          (* NI index <= Dinic-certified λ(u,v), weighted *)
+          if float_of_int (Strength.index s u v) > lambda +. 1e-6 then
+            ok := false);
+      !ok)
+
+let test_connectivity_exact_when_uncapped () =
+  (* With an unreachable cap and unlimited flows, the exact tier runs
+     everywhere: estimates equal true local connectivities. *)
+  let rng = Prng.create 8 in
+  let g0 = Generators.erdos_renyi_connected rng ~n:9 ~p:0.4 in
+  let g = Generators.random_multigraph_weights rng g0 ~max_weight:3 in
+  let conn = Connectivity.estimate_ugraph ~cap:1e9 g in
+  let net = Dinic.of_ugraph g in
+  Connectivity.iter conn (fun u v _ lam ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "lambda(%d,%d)" u v)
+        (Dinic.maxflow net ~s:u ~t:v)
+        lam)
+
+let test_connectivity_get_not_found () =
+  let g = Ugraph.of_edges 3 [ (0, 1, 2.0); (1, 2, 1.0) ] in
+  let conn = Connectivity.estimate_ugraph ~cap:4.0 g in
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Connectivity.get: (0, 2) is not an edge") (fun () ->
+      ignore (Connectivity.get conn 0 2))
+
+(* --- Binomial weight resampling --- *)
+
+let test_binomial_keep_identity () =
+  (* p >= 1 keeps the edge at its exact weight without consuming the
+     stream. *)
+  let rng = Prng.create 9 in
+  Alcotest.(check (option (float 0.0)))
+    "p=1" (Some 7.0)
+    (Importance.binomial_keep rng ~p:1.0 ~w:7.0);
+  Alcotest.(check (option (float 0.0)))
+    "p=0" None
+    (Importance.binomial_keep rng ~p:0.0 ~w:7.0)
+
+let test_binomial_keep_expectation () =
+  (* E[resampled weight] = w: kept weight x/p with x ~ Bin(w, p). *)
+  let rng = Prng.create 10 in
+  let w = 12.0 and p = 0.3 and trials = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to trials do
+    match Importance.binomial_keep rng ~p ~w with
+    | Some w' -> acc := !acc +. w'
+    | None -> ()
+  done;
+  let mean = !acc /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f within 2%% of %g" mean w)
+    true
+    (Float.abs (mean -. w) /. w < 0.02)
+
+let test_binomial_keep_deterministic () =
+  (* The same split stream replays the same decision — the per-edge
+     determinism contract of the connectivity samplers. *)
+  let master = Prng.create 11 in
+  let draw () =
+    List.init 64 (fun i ->
+        Importance.binomial_keep (Prng.split master i) ~p:0.4 ~w:5.0)
+  in
+  Alcotest.(check bool) "split streams replay" true (draw () = draw ())
 
 (* --- Importance sampling --- *)
 
@@ -460,8 +560,15 @@ let suite =
     Alcotest.test_case "strength: complete graph" `Quick test_strength_complete_graph;
     Alcotest.test_case "strength: weighted multiplicity" `Quick test_strength_weighted_multiplicity;
     Alcotest.test_case "strength: not found" `Quick test_strength_not_found;
+    Alcotest.test_case "strength: fold sorted" `Quick test_strength_fold_sorted;
     Alcotest.test_case "strength: max rounds cap" `Quick test_strength_max_rounds_cap;
     QCheck_alcotest.to_alcotest prop_strength_below_connectivity;
+    QCheck_alcotest.to_alcotest prop_connectivity_estimates_sound;
+    Alcotest.test_case "connectivity: exact when uncapped" `Quick test_connectivity_exact_when_uncapped;
+    Alcotest.test_case "connectivity: get not found" `Quick test_connectivity_get_not_found;
+    Alcotest.test_case "binomial keep: identity" `Quick test_binomial_keep_identity;
+    Alcotest.test_case "binomial keep: expectation" `Quick test_binomial_keep_expectation;
+    Alcotest.test_case "binomial keep: determinism" `Quick test_binomial_keep_deterministic;
     Alcotest.test_case "importance: keep all" `Quick test_importance_keep_all;
     Alcotest.test_case "importance: drop all" `Quick test_importance_drop_all;
     Alcotest.test_case "importance: unbiased" `Quick test_importance_unbiased_cut;

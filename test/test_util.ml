@@ -68,6 +68,38 @@ let test_bernoulli_extremes () =
   Alcotest.(check bool) "p=0" false (Prng.bernoulli g 0.0);
   Alcotest.(check bool) "p=1" true (Prng.bernoulli g 1.0)
 
+let test_binomial_extremes () =
+  let g = Prng.create 3 in
+  Alcotest.(check int) "p=0" 0 (Prng.binomial g ~n:9 ~p:0.0);
+  Alcotest.(check int) "p=1" 9 (Prng.binomial g ~n:9 ~p:1.0);
+  Alcotest.(check int) "n=0" 0 (Prng.binomial g ~n:0 ~p:0.5);
+  Alcotest.check_raises "n<0"
+    (Invalid_argument "Prng.binomial: n must be nonnegative") (fun () ->
+      ignore (Prng.binomial g ~n:(-1) ~p:0.5))
+
+let test_binomial_expectation () =
+  let g = Prng.create 23 in
+  let n = 20 and p = 0.35 and trials = 20000 in
+  let acc = ref 0 in
+  for _ = 1 to trials do
+    acc := !acc + Prng.binomial g ~n ~p
+  done;
+  let mean = float_of_int !acc /. float_of_int trials in
+  let expected = float_of_int n *. p in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near np=%g" mean expected)
+    true
+    (Float.abs (mean -. expected) /. expected < 0.02)
+
+let test_binomial_split_deterministic () =
+  (* Per-index split streams replay the same draws: the contract the
+     per-edge resamplers rely on for scheduling independence. *)
+  let master = Prng.create 41 in
+  let draw () =
+    List.init 50 (fun i -> Prng.binomial (Prng.split master i) ~n:10 ~p:0.4)
+  in
+  Alcotest.(check bool) "split streams replay" true (draw () = draw ())
+
 let test_sign () =
   let g = Prng.create 77 in
   let pos = ref 0 in
@@ -401,6 +433,9 @@ let suite =
     Alcotest.test_case "prng: float range" `Quick test_float_range;
     Alcotest.test_case "prng: bernoulli bias" `Quick test_bernoulli_bias;
     Alcotest.test_case "prng: bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "prng: binomial extremes" `Quick test_binomial_extremes;
+    Alcotest.test_case "prng: binomial expectation" `Quick test_binomial_expectation;
+    Alcotest.test_case "prng: binomial split determinism" `Quick test_binomial_split_deterministic;
     Alcotest.test_case "prng: sign" `Quick test_sign;
     Alcotest.test_case "prng: gaussian moments" `Quick test_gaussian_moments;
     Alcotest.test_case "prng: shuffle permutes" `Quick test_shuffle_permutes;
